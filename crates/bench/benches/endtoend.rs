@@ -1,0 +1,86 @@
+//! Criterion end-to-end benchmarks: whole minimization runs on benchmark
+//! slices — exact Algorithm 2, the SPP_0 heuristic and the SP baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spp_benchgen::registry;
+use spp_boolfn::BoolFn;
+use spp_core::{generate_eppp, minimize_spp_exact, minimize_spp_heuristic, Grouping, SppOptions};
+use spp_sp::minimize_sp;
+
+fn slices() -> Vec<(&'static str, BoolFn)> {
+    vec![
+        ("adr4_sum2", registry::circuit("adr4").unwrap().output_on_support(2)),
+        ("root_bit1", registry::circuit("root").unwrap().output_on_support(1)),
+        ("dist_bit0", registry::circuit("dist").unwrap().output_on_support(0)),
+    ]
+}
+
+/// Per-iteration budgets small enough that a bench iteration is the
+/// algorithm, not a covering-solver timeout.
+fn options() -> SppOptions {
+    SppOptions {
+        gen_limits: spp_core::GenLimits {
+            max_pseudocubes: 100_000,
+            max_level_size: 80_000,
+            time_limit: None,
+        },
+        cover_limits: spp_cover::Limits {
+            max_nodes: 20_000,
+            time_limit: Some(std::time::Duration::from_millis(200)),
+            max_exact_columns: 3_000,
+        },
+        ..SppOptions::default()
+    }
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let options = options();
+    for (name, f) in slices() {
+        c.bench_function(&format!("exact_spp/{name}"), |b| {
+            b.iter(|| black_box(minimize_spp_exact(&f, &options)))
+        });
+    }
+}
+
+fn bench_heuristic(c: &mut Criterion) {
+    let options = options();
+    for (name, f) in slices() {
+        c.bench_function(&format!("heuristic_spp0/{name}"), |b| {
+            b.iter(|| black_box(minimize_spp_heuristic(&f, 0, &options)))
+        });
+    }
+}
+
+fn bench_sp(c: &mut Criterion) {
+    let limits = options().cover_limits;
+    for (name, f) in slices() {
+        c.bench_function(&format!("sp/{name}"), |b| {
+            b.iter(|| black_box(minimize_sp(&f, &limits)))
+        });
+    }
+}
+
+fn bench_generation_strategies(c: &mut Criterion) {
+    let f = registry::circuit("adr4").unwrap().output_on_support(2);
+    let limits = options().gen_limits;
+    for (label, grouping) in [
+        ("trie", Grouping::PartitionTrie),
+        ("hashmap", Grouping::HashMap),
+        ("quadratic_baseline", Grouping::Quadratic),
+    ] {
+        c.bench_function(&format!("eppp_generation/{label}"), |b| {
+            b.iter(|| black_box(generate_eppp(&f, grouping, &limits)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // End-to-end minimization runs are seconds each; keep sampling light.
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_exact, bench_heuristic, bench_sp, bench_generation_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks of the core operations: pseudocube union
+//! (affine vs literal-level Algorithm 1), CEX construction, partition-trie
+//! insertion vs hash grouping, and the covering solvers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spp_core::{Cex, PartitionTrie, Pseudocube};
+use spp_cover::{solve_exact, solve_greedy, CoverProblem, Limits};
+use spp_gf2::{EchelonBasis, Gf2Vec};
+
+/// A deterministic population of pseudocubes in B^n with shared
+/// structures (pairs of cosets), the shape the generation loop sees.
+fn population(n: usize, count: usize) -> Vec<Pseudocube> {
+    let mut out = Vec::with_capacity(count);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut next = next;
+    while out.len() < count {
+        let mut dirs = EchelonBasis::new(n);
+        for _ in 0..3 {
+            dirs.insert(Gf2Vec::from_u64(n, next() & ((1 << n) - 1)));
+        }
+        let rep = Gf2Vec::from_u64(n, next() & ((1 << n) - 1));
+        let a = Pseudocube::from_parts(rep, dirs.clone());
+        let b = a.transform(&Gf2Vec::from_u64(n, next() & ((1 << n) - 1)));
+        out.push(a);
+        out.push(b);
+    }
+    out.truncate(count);
+    out
+}
+
+fn bench_union(c: &mut Criterion) {
+    let pcs = population(10, 64);
+    let pairs: Vec<(&Pseudocube, &Pseudocube)> = pcs
+        .chunks(2)
+        .filter(|ch| ch.len() == 2 && ch[0].structure() == ch[1].structure() && ch[0] != ch[1])
+        .map(|ch| (&ch[0], &ch[1]))
+        .collect();
+    c.bench_function("union/affine", |b| {
+        b.iter(|| {
+            for (x, y) in &pairs {
+                black_box(x.union(y));
+            }
+        })
+    });
+    let cex_pairs: Vec<(Cex, Cex)> = pairs.iter().map(|(x, y)| (x.cex(), y.cex())).collect();
+    c.bench_function("union/algorithm1_literal", |b| {
+        b.iter(|| {
+            for (x, y) in &cex_pairs {
+                black_box(x.union(y));
+            }
+        })
+    });
+}
+
+fn bench_cex(c: &mut Criterion) {
+    let pcs = population(12, 64);
+    c.bench_function("cex/from_pseudocube", |b| {
+        b.iter(|| {
+            for pc in &pcs {
+                black_box(pc.cex());
+            }
+        })
+    });
+    c.bench_function("cex/literal_count_closed_form", |b| {
+        b.iter(|| {
+            for pc in &pcs {
+                black_box(pc.literal_count());
+            }
+        })
+    });
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let pcs = population(10, 512);
+    c.bench_function("grouping/partition_trie_insert", |b| {
+        b.iter(|| {
+            let mut trie = PartitionTrie::new(10);
+            for (i, pc) in pcs.iter().enumerate() {
+                trie.insert(pc, i as u32);
+            }
+            black_box(trie.num_groups())
+        })
+    });
+    c.bench_function("grouping/hashmap", |b| {
+        b.iter(|| {
+            let mut map: std::collections::HashMap<&EchelonBasis, Vec<u32>> =
+                std::collections::HashMap::new();
+            for (i, pc) in pcs.iter().enumerate() {
+                map.entry(pc.structure()).or_default().push(i as u32);
+            }
+            black_box(map.len())
+        })
+    });
+    c.bench_function("grouping/quadratic_compare", |b| {
+        b.iter(|| {
+            let mut matches = 0usize;
+            for i in 0..pcs.len() {
+                for j in (i + 1)..pcs.len() {
+                    if pcs[i].structure() == pcs[j].structure() {
+                        matches += 1;
+                    }
+                }
+            }
+            black_box(matches)
+        })
+    });
+}
+
+fn bench_cover(c: &mut Criterion) {
+    // A structured instance: 64 rows, 300 columns of mixed sizes.
+    let mut problem = CoverProblem::new(64);
+    let mut x = 12345u64;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for _ in 0..300 {
+        let size = 1 + (next() % 8) as usize;
+        let rows: Vec<usize> = (0..size).map(|_| (next() % 64) as usize).collect();
+        problem.add_column(&rows, 1 + size as u64);
+    }
+    // Make it feasible.
+    let all: Vec<usize> = (0..64).collect();
+    problem.add_column(&all, 64);
+    c.bench_function("cover/greedy", |b| b.iter(|| black_box(solve_greedy(&problem))));
+    let limits = Limits { max_nodes: 20_000, ..Limits::default() };
+    c.bench_function("cover/branch_and_bound", |b| {
+        b.iter(|| black_box(solve_exact(&problem, &limits, None)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_union, bench_cex, bench_grouping, bench_cover
+}
+criterion_main!(benches);

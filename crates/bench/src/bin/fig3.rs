@@ -1,0 +1,50 @@
+//! Regenerates **Figure 3** of the paper: the number of literals of the
+//! `SPP_k` forms of `dist` and `f51m` as `k` grows from 0 to `n − 1`,
+//! together with the SP baseline (the flat line of the figure).
+//!
+//! ```text
+//! cargo run --release -p spp-bench --bin fig3 [--full] [names...]
+//! ```
+
+use spp_bench::{circuit_or_die, heuristic_point, sp_vs_spp, starred, Mode};
+
+fn main() {
+    let mode = Mode::from_args();
+    let mut names: Vec<String> =
+        std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    if names.is_empty() {
+        names = vec!["dist".to_owned(), "f51m".to_owned()];
+    }
+    println!("Figure 3: literals of SP and SPP_k forms vs k (per-output, summed)");
+    println!("{}", mode.banner());
+    for name in &names {
+        let circuit = circuit_or_die(name);
+        let outputs: Vec<_> =
+            (0..circuit.outputs().len()).map(|j| circuit.output_on_support(j)).collect();
+        let n = outputs.iter().map(spp_boolfn::BoolFn::num_vars).max().unwrap_or(1);
+        let (sp, spp) = sp_vs_spp(&outputs, mode);
+        println!();
+        println!("{name}: SP = {} literals; exact SPP = {} literals", sp.literals, spp.literals);
+        println!("{:>4} {:>10} {:>10}", "k", "SPP_k #L", "");
+        for k in 0..n {
+            let mut lits = 0u64;
+            let mut trunc = false;
+            for f in &outputs {
+                if f.is_zero() || f.num_vars() == 0 {
+                    continue;
+                }
+                // Outputs narrower than the widest are capped at their own
+                // n − 1 (the heuristic requires k < n).
+                let kk = k.min(f.num_vars() - 1);
+                let (r, _) = heuristic_point(f, kk, mode);
+                lits += r.literal_count();
+                trunc |= r.gen_stats.truncated;
+            }
+            let bar = "#".repeat((lits / 20).min(80) as usize);
+            println!("{:>4} {:>10} {}", k, starred(lits, trunc), bar);
+        }
+    }
+    println!();
+    println!("Shape check: the curve should fall from near the SP line at k = 0 toward the");
+    println!("exact SPP literal count as k approaches n − 1, flattening for large k.");
+}

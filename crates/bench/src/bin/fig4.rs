@@ -1,0 +1,55 @@
+//! Regenerates **Figure 4** of the paper: CPU time of synthesizing the SP
+//! form and the `SPP_k` forms of `dist` and `f51m` as `k` grows
+//! (logarithmic scale in the paper — the bar column here is log-scaled).
+//!
+//! ```text
+//! cargo run --release -p spp-bench --bin fig4 [--full] [names...]
+//! ```
+
+use std::time::Duration;
+
+use spp_bench::{circuit_or_die, heuristic_point, secs, starred, timed, Mode};
+use spp_sp::minimize_sp;
+
+fn main() {
+    let mode = Mode::from_args();
+    let mut names: Vec<String> =
+        std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    if names.is_empty() {
+        names = vec!["dist".to_owned(), "f51m".to_owned()];
+    }
+    println!("Figure 4: CPU time (s) of SP and SPP_k synthesis vs k (per-output, summed)");
+    println!("{}", mode.banner());
+    for name in &names {
+        let circuit = circuit_or_die(name);
+        let outputs: Vec<_> =
+            (0..circuit.outputs().len()).map(|j| circuit.output_on_support(j)).collect();
+        let n = outputs.iter().map(spp_boolfn::BoolFn::num_vars).max().unwrap_or(1);
+        let (_, sp_dt) = timed(|| {
+            for f in &outputs {
+                let _ = minimize_sp(f, &mode.sp_limits());
+            }
+        });
+        println!();
+        println!("{name}: SP synthesis = {} s", secs(sp_dt));
+        println!("{:>4} {:>12}  (log-scale bar)", "k", "SPP_k time s");
+        for k in 0..n {
+            let mut total = Duration::ZERO;
+            let mut trunc = false;
+            for f in &outputs {
+                if f.is_zero() || f.num_vars() == 0 {
+                    continue;
+                }
+                let kk = k.min(f.num_vars() - 1);
+                let (r, dt) = heuristic_point(f, kk, mode);
+                total += dt;
+                trunc |= r.gen_stats.truncated;
+            }
+            let log_bar = ((total.as_secs_f64().max(1e-4).log10() + 4.0) * 10.0) as usize;
+            println!("{:>4} {:>12} {}", k, starred(secs(total), trunc), "#".repeat(log_bar.min(80)));
+        }
+    }
+    println!();
+    println!("Shape check: time should grow sharply (roughly exponentially) with k while");
+    println!("the literal gains of Figure 3 taper off — the paper's case for small k.");
+}

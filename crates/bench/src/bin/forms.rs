@@ -1,0 +1,81 @@
+//! Extension study (beyond the paper): SP vs 2-SPP vs full SPP across the
+//! benchmark functions, with the three-level netlist costs (gates, depth)
+//! of each form.
+//!
+//! ```text
+//! cargo run --release -p spp-bench --bin forms [--full] [names...]
+//! ```
+
+use spp_bench::{circuit_or_die, starred, Mode};
+use spp_core::{minimize_2spp, minimize_spp_exact};
+use spp_netlist::Netlist;
+use spp_sp::minimize_sp;
+
+fn main() {
+    let mode = Mode::from_args();
+    let mut names: Vec<String> =
+        std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    if names.is_empty() {
+        names = ["adr4", "life", "root", "dist", "mlp4", "newtpla2"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+    }
+    println!("Form study: SP vs 2-SPP vs SPP literals and netlist costs (per-output, summed)");
+    println!("{}", mode.banner());
+    println!(
+        "{:<10} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>5} {:>5} {:>5}",
+        "function", "SP#L", "2SPP#L", "SPP#L", "SPgat", "2Sgat", "SPPgt", "dSP", "d2S", "dSPP"
+    );
+    println!("{}", "-".repeat(92));
+    for name in &names {
+        let circuit = circuit_or_die(name);
+        let options = mode.spp_options();
+        let (mut l_sp, mut l_2, mut l_f) = (0u64, 0u64, 0u64);
+        let (mut g_sp, mut g_2, mut g_f) = (0usize, 0usize, 0usize);
+        let (mut d_sp, mut d_2, mut d_f) = (0usize, 0usize, 0usize);
+        let mut trunc = false;
+        for j in 0..circuit.outputs().len() {
+            let f = circuit.output_on_support(j);
+            if f.num_vars() == 0 {
+                continue;
+            }
+            let sp = minimize_sp(&f, &mode.sp_limits());
+            let two = minimize_2spp(&f, &options);
+            let full = minimize_spp_exact(&f, &options);
+            two.form.check_realizes(&f).expect("2-SPP form must verify");
+            full.form.check_realizes(&f).expect("SPP form must verify");
+            trunc |= !two.optimal || !full.optimal || !sp.optimal;
+            l_sp += sp.literal_count();
+            l_2 += two.literal_count();
+            l_f += full.literal_count();
+            let nets = [
+                Netlist::from_sp_form(&sp.form),
+                Netlist::from_spp_form(&two.form),
+                Netlist::from_spp_form(&full.form),
+            ];
+            g_sp += nets[0].gate_count();
+            g_2 += nets[1].gate_count();
+            g_f += nets[2].gate_count();
+            d_sp = d_sp.max(nets[0].depth());
+            d_2 = d_2.max(nets[1].depth());
+            d_f = d_f.max(nets[2].depth());
+        }
+        println!(
+            "{:<10} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>5} {:>5} {:>5}",
+            name,
+            starred(l_sp, trunc),
+            starred(l_2, trunc),
+            starred(l_f, trunc),
+            g_sp,
+            g_2,
+            g_f,
+            d_sp,
+            d_2,
+            d_f,
+        );
+    }
+    println!();
+    println!("Expected shape: SP ≥ 2-SPP ≥ SPP literals; SPP depth ≤ 3 with 2-input EXOR");
+    println!("gates bounding the 2-SPP fan-in.");
+}

@@ -1,0 +1,80 @@
+//! Regenerates **Table 1** of the paper: minimal SP vs minimal SPP forms
+//! (`#PI, #L, #P` vs `#EPPP, #L, #PP`) for the benchmark functions, each
+//! output minimized separately and the counts summed.
+//!
+//! ```text
+//! cargo run --release -p spp-bench --bin table1 [--full] [names...]
+//! ```
+//!
+//! Values marked `*` hit a resource budget and are upper bounds, like the
+//! paper's starred entries. The `paper #L` columns quote the original
+//! table for shape comparison (our benchmark functions are regenerated
+//! surrogates, so absolute agreement is not expected — see EXPERIMENTS.md).
+
+use spp_bench::{circuit_or_die, secs, sp_vs_spp, starred, Mode};
+
+/// (name, paper #PI, paper #L(SP), paper #P, paper #EPPP, paper #L(SPP), paper #PP)
+const PAPER: &[(&str, u64, u64, u64, u64, u64, u64)] = &[
+    ("addm4", 352, 1299, 212, 191_133, 520, 74),
+    ("adr4", 75, 340, 75, 7_158, 72, 14),
+    ("dist", 279, 829, 150, 48_753, 422, 64),
+    ("ex5", 650, 828, 307, 273_695, 723, 253),
+    ("exps", 950, 3007, 499, 63_083, 1918, 273),
+    ("life", 224, 672, 84, 2_100, 144, 18),
+    ("lin.rom", 827, 2165, 451, 39_280, 1235, 227),
+    ("m3", 212, 693, 131, 13_768, 423, 74),
+    ("m4", 441, 984, 211, 110_198, 646, 123),
+    ("max128", 338, 795, 191, 15_504, 492, 108),
+    ("max512", 416, 923, 154, 298_623, 517, 76),
+    ("mlp4", 206, 709, 143, 24_982, 318, 61),
+    ("newcond", 55, 208, 31, 46_889, 122, 15),
+    ("newtpla2", 15, 74, 15, 17_146, 74, 15),
+    ("p1", 205, 362, 100, 476_360, 232, 44),
+    ("prom2", 2298, 6647, 940, 341_557, 3477, 383),
+    ("radd", 75, 340, 75, 6_600, 72, 14),
+    ("root", 133, 346, 71, 37_324, 220, 39),
+    ("test1", 1066, 1000, 184, 444_407, 534, 73),
+];
+
+fn main() {
+    let mode = Mode::from_args();
+    let selected: Vec<String> =
+        std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    println!("Table 1: SP vs SPP minimal forms (per-output minimization, summed)");
+    println!("{}", mode.banner());
+    println!(
+        "{:<9} | {:>6} {:>6} {:>5} | {:>8} {:>7} {:>5} | {:>8} | paper SP#L  paper SPP#L | ratio (paper)",
+        "function", "#PI", "#L", "#P", "#EPPP", "#L", "#PP", "time s"
+    );
+    println!("{}", "-".repeat(110));
+    for &(name, _ppi, psl, _pp, _peppp, pspl, _pppp) in PAPER {
+        if !selected.is_empty() && !selected.iter().any(|s| s == name) {
+            continue;
+        }
+        let circuit = circuit_or_die(name);
+        let outputs: Vec<_> =
+            (0..circuit.outputs().len()).map(|j| circuit.output_on_support(j)).collect();
+        let (sp, spp) = sp_vs_spp(&outputs, mode);
+        let ratio = spp.literals as f64 / sp.literals.max(1) as f64;
+        let paper_ratio = pspl as f64 / psl as f64;
+        println!(
+            "{:<9} | {:>6} {:>6} {:>5} | {:>8} {:>7} {:>5} | {:>8} | {:>10}  {:>11} | {:.2} ({:.2})",
+            name,
+            sp.num_primes,
+            starred(sp.literals, sp.truncated),
+            sp.products,
+            spp.num_eppp,
+            starred(spp.literals, spp.truncated),
+            spp.pseudoproducts,
+            secs(spp.elapsed),
+            psl,
+            pspl,
+            ratio,
+            paper_ratio,
+        );
+    }
+    println!();
+    println!("Shape check: SPP literal counts should sit well below SP on the arithmetic");
+    println!("functions (paper average ≈ one half) and approach SP on cube-soup surrogates");
+    println!("(the paper's newtpla2 regime).");
+}

@@ -1,0 +1,79 @@
+//! Regenerates **Table 3** of the paper: the heuristic with `k = 0`
+//! (`SPP_0`) vs the exact algorithm — literal counts and CPU times, with
+//! `Av = (|SP| + |SPP|)/2` (the paper prints the formula with a minus
+//! sign, but its own numbers are the midpoint — e.g. addm4:
+//! `(1299 + 520)/2 ≈ 910` — so we reproduce the midpoint).
+//!
+//! ```text
+//! cargo run --release -p spp-bench --bin table3 [--full]
+//! ```
+
+use spp_bench::{circuit_or_die, heuristic_point, secs, sp_vs_spp, starred, timed, Mode};
+
+/// (name, paper Av or None, paper SPP_0 #L, paper SPP_0 time, paper exact
+/// #L or None for starred, paper exact time or None)
+type Row = (&'static str, Option<u64>, u64, u64, Option<u64>, Option<u64>);
+
+const ROWS: &[Row] = &[
+    ("alu", None, 41, 51_050, None, None),
+    ("addm4", Some(910), 939, 16, Some(520), Some(27_340)),
+    ("add6", None, 1212, 7_454, None, None),
+    ("amd", None, 905, 96_826, None, None),
+    ("dist", Some(626), 639, 23, Some(422), Some(61_925)),
+    ("f51m", Some(233), 216, 13, Some(146), Some(339)),
+    ("max512", Some(720), 693, 40, Some(517), Some(12_609)),
+    ("max1024", None, 1098, 192, None, None),
+    ("mlp4", Some(586), 643, 7, Some(318), Some(778)),
+    ("m4", Some(815), 785, 64, Some(646), Some(18_123)),
+    ("newcond", Some(165), 166, 12, Some(122), Some(15_587)),
+];
+
+fn main() {
+    let mode = Mode::from_args();
+    println!("Table 3: heuristic SPP_0 vs exact SPP (per-output, summed)");
+    println!("{}", mode.banner());
+    println!(
+        "{:<9} | {:>6} | {:>7} {:>9} | {:>7} {:>9} | paper: Av  SPP0#L  exact#L",
+        "function", "Av", "SPP0#L", "t0 s", "ex#L", "t s"
+    );
+    println!("{}", "-".repeat(95));
+    for &(name, paper_av, paper_h_l, _paper_h_t, paper_e_l, _paper_e_t) in ROWS {
+        let circuit = circuit_or_die(name);
+        let outputs: Vec<_> =
+            (0..circuit.outputs().len()).map(|j| circuit.output_on_support(j)).collect();
+
+        // Heuristic SPP_0 per output.
+        let mut h_lits = 0u64;
+        let mut h_trunc = false;
+        let (_, h_dt) = timed(|| {
+            for f in &outputs {
+                if f.is_zero() || f.num_vars() == 0 {
+                    continue;
+                }
+                let (r, _) = heuristic_point(f, 0, mode);
+                h_lits += r.literal_count();
+                h_trunc |= r.gen_stats.truncated;
+            }
+        });
+
+        // Exact SPP + SP (for Av).
+        let (sp, spp) = sp_vs_spp(&outputs, mode);
+        let av = (sp.literals + spp.literals) / 2;
+
+        println!(
+            "{:<9} | {:>6} | {:>7} {:>9} | {:>7} {:>9} | {:>9} {:>7} {:>8}",
+            name,
+            av,
+            starred(h_lits, h_trunc),
+            secs(h_dt),
+            starred(spp.literals, spp.truncated),
+            secs(spp.elapsed),
+            paper_av.map_or_else(|| "*".to_owned(), |v| v.to_string()),
+            paper_h_l,
+            paper_e_l.map_or_else(|| "*".to_owned(), |v| v.to_string()),
+        );
+    }
+    println!();
+    println!("Shape check: SPP_0 should land near Av = (|SP|+|SPP|)/2 at a small fraction");
+    println!("of the exact algorithm's time.");
+}

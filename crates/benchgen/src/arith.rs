@@ -1,0 +1,343 @@
+//! Arithmetic benchmark circuits, generated exactly from their
+//! definitions (or from documented arithmetic surrogates when the MCNC
+//! original has no public mathematical definition — see DESIGN.md §3).
+
+use crate::Circuit;
+
+fn bits(x: u64, lo: usize, width: usize) -> u64 {
+    (x >> lo) & ((1 << width) - 1)
+}
+
+/// An `n`-bit + `n`-bit ripple adder: `2n` inputs (`a` in the low bits,
+/// `b` in the high bits), `n + 1` outputs (sum bits then carry-out).
+///
+/// # Panics
+///
+/// Panics if `2n > 24`.
+///
+/// # Examples
+///
+/// ```
+/// use spp_benchgen::arith::adder;
+///
+/// let add2 = adder("add2", 2);
+/// assert_eq!(add2.num_inputs(), 4);
+/// assert_eq!(add2.outputs().len(), 3);
+/// ```
+#[must_use]
+pub fn adder(name: &str, n: usize) -> Circuit {
+    Circuit::from_truth_fns(name, 2 * n, n + 1, move |x, j| {
+        let sum = bits(x, 0, n) + bits(x, n, n);
+        (sum >> j) & 1 == 1
+    })
+    .with_description(&format!("exact {n}-bit + {n}-bit adder"))
+}
+
+/// `adr4` — the 4-bit adder (8 inputs, 5 outputs), generated exactly.
+#[must_use]
+pub fn adr4() -> Circuit {
+    adder("adr4", 4)
+}
+
+/// `radd` — in MCNC a second PLA description of the same 4-bit adder
+/// (the paper's Table 1 shows identical SP statistics for `adr4` and
+/// `radd`), so it is regenerated as the same function.
+#[must_use]
+pub fn radd() -> Circuit {
+    adder("radd", 4)
+}
+
+/// `add6` — the 6-bit adder (12 inputs, 7 outputs), generated exactly.
+#[must_use]
+pub fn add6() -> Circuit {
+    adder("add6", 6)
+}
+
+/// `cs8` — stand-in for the paper's "8-bit carry-save adder": the 8-bit
+/// two-operand adder (16 inputs, 9 outputs). Its single outputs `cs8(k)`
+/// depend on `2(k+1)` inputs, which is how Table 2 consumes them.
+#[must_use]
+pub fn cs8() -> Circuit {
+    adder("cs8", 8).with_description("8-bit adder standing in for the carry-save adder")
+}
+
+/// An `n`×`m` unsigned multiplier: `n + m` inputs, `n + m` outputs.
+///
+/// # Panics
+///
+/// Panics if `n + m > 24`.
+#[must_use]
+pub fn multiplier(name: &str, n: usize, m: usize) -> Circuit {
+    Circuit::from_truth_fns(name, n + m, n + m, move |x, j| {
+        let prod = bits(x, 0, n) * bits(x, n, m);
+        (prod >> j) & 1 == 1
+    })
+    .with_description(&format!("exact {n}x{m}-bit multiplier"))
+}
+
+/// `mlp4` — the 4×4 multiplier (8 inputs, 8 outputs), generated exactly.
+#[must_use]
+pub fn mlp4() -> Circuit {
+    multiplier("mlp4", 4, 4)
+}
+
+/// `life` — one step of Conway's Game of Life for the center cell: inputs
+/// are the 8 neighbours (x0..x7) and the cell itself (x8); the output is
+/// its next state. 9 inputs, 1 output, generated exactly.
+#[must_use]
+pub fn life() -> Circuit {
+    Circuit::from_truth_fns("life", 9, 1, |x, _| {
+        let neighbours = (x & 0xFF).count_ones();
+        let alive = (x >> 8) & 1 == 1;
+        neighbours == 3 || (alive && neighbours == 2)
+    })
+    .with_description("exact Game-of-Life next-state rule (8 neighbours + cell)")
+}
+
+/// `root` — rounded integer square root of an 8-bit input: 8 inputs, 5
+/// outputs (`round(sqrt(x))` reaches 16, which needs 5 bits).
+#[must_use]
+pub fn root() -> Circuit {
+    Circuit::from_truth_fns("root", 8, 5, |x, j| {
+        let r = (0..=16u64).min_by_key(|r| (r * r).abs_diff(x)).expect("range non-empty");
+        (r >> j) & 1 == 1
+    })
+    .with_description("rounded integer square root of an 8-bit input (arithmetic surrogate)")
+}
+
+/// `dist` — distance surrogate with the MCNC shape (8 inputs, 5 outputs):
+/// `|a − b|` of two 4-bit operands plus an `a < b` flag.
+#[must_use]
+pub fn dist() -> Circuit {
+    Circuit::from_truth_fns("dist", 8, 5, |x, j| {
+        let (a, b) = (bits(x, 0, 4), bits(x, 4, 4));
+        let out = a.abs_diff(b) | (u64::from(a < b) << 4);
+        (out >> j) & 1 == 1
+    })
+    .with_description("|a-b| of 4-bit operands + comparison flag (arithmetic surrogate)")
+}
+
+/// `f51m` — arithmetic surrogate with the MCNC shape (8 inputs, 8
+/// outputs): `(a·b + a + b) mod 256` of two 4-bit operands.
+#[must_use]
+pub fn f51m() -> Circuit {
+    Circuit::from_truth_fns("f51m", 8, 8, |x, j| {
+        let (a, b) = (bits(x, 0, 4), bits(x, 4, 4));
+        let out = (a * b + a + b) & 0xFF;
+        (out >> j) & 1 == 1
+    })
+    .with_description("(a*b + a + b) mod 256 of 4-bit operands (arithmetic surrogate)")
+}
+
+/// `addm4` — arithmetic surrogate with the MCNC shape (9 inputs, 8
+/// outputs): the 5-bit sum `a + b + cin` of two 4-bit operands, plus the
+/// sum modulo 7 in 3 bits.
+#[must_use]
+pub fn addm4() -> Circuit {
+    Circuit::from_truth_fns("addm4", 9, 8, |x, j| {
+        let s = bits(x, 0, 4) + bits(x, 4, 4) + bits(x, 8, 1);
+        let out = s | ((s % 7) << 5);
+        (out >> j) & 1 == 1
+    })
+    .with_description("a + b + cin (5 bits) and (a+b+cin) mod 7 (3 bits) (arithmetic surrogate)")
+}
+
+/// `m3` — arithmetic surrogate with the MCNC shape (8 inputs, 16
+/// outputs): the 4×4 product and the product-plus-sum.
+#[must_use]
+pub fn m3() -> Circuit {
+    Circuit::from_truth_fns("m3", 8, 16, |x, j| {
+        let (a, b) = (bits(x, 0, 4), bits(x, 4, 4));
+        let out = if j < 8 { a * b } else { (a * b + a + b) & 0xFF };
+        (out >> (j % 8)) & 1 == 1
+    })
+    .with_description("a*b and a*b + a + b of 4-bit operands (arithmetic surrogate)")
+}
+
+/// `m4` — arithmetic surrogate with the MCNC shape (8 inputs, 16
+/// outputs): the 4×4 product and the product XOR-folded with the shifted
+/// sum.
+#[must_use]
+pub fn m4() -> Circuit {
+    Circuit::from_truth_fns("m4", 8, 16, |x, j| {
+        let (a, b) = (bits(x, 0, 4), bits(x, 4, 4));
+        let out = if j < 8 { a * b + 1 } else { (a * b) ^ ((a + b) << 2) };
+        (out >> (j % 8)) & 1 == 1
+    })
+    .with_description("a*b + 1 and a*b XOR (a+b)<<2 of 4-bit operands (arithmetic surrogate)")
+}
+
+/// `max128` — surrogate with the MCNC shape (7 inputs, 24 outputs):
+/// max, min, sum, absolute difference and low product bits of a 4-bit and
+/// a 3-bit operand.
+#[must_use]
+pub fn max128() -> Circuit {
+    Circuit::from_truth_fns("max128", 7, 24, |x, j| {
+        let (a, b) = (bits(x, 0, 4), bits(x, 4, 3));
+        let out = a.max(b) | (a.min(b) << 4) | ((a + b) << 8) | (a.abs_diff(b) << 13)
+            | (((a * b) & 0x7F) << 17);
+        (out >> j) & 1 == 1
+    })
+    .with_description("max/min/sum/|diff|/product of 4- and 3-bit operands (surrogate)")
+}
+
+/// `max512` — surrogate with the MCNC shape (9 inputs, 6 outputs):
+/// `max(a, b)` of a 5-bit and a 4-bit operand plus a comparison flag.
+#[must_use]
+pub fn max512() -> Circuit {
+    Circuit::from_truth_fns("max512", 9, 6, |x, j| {
+        let (a, b) = (bits(x, 0, 5), bits(x, 5, 4));
+        let out = a.max(b) | (u64::from(a > b) << 5);
+        (out >> j) & 1 == 1
+    })
+    .with_description("max of 5- and 4-bit operands + comparison flag (surrogate)")
+}
+
+/// `max1024` — surrogate with the MCNC shape (10 inputs, 6 outputs):
+/// `max(a, b)` of two 5-bit operands plus a comparison flag.
+#[must_use]
+pub fn max1024() -> Circuit {
+    Circuit::from_truth_fns("max1024", 10, 6, |x, j| {
+        let (a, b) = (bits(x, 0, 5), bits(x, 5, 5));
+        let out = a.max(b) | (u64::from(a > b) << 5);
+        (out >> j) & 1 == 1
+    })
+    .with_description("max of two 5-bit operands + comparison flag (surrogate)")
+}
+
+/// `alu` — ALU surrogate (10 inputs, 8 outputs): a 2-bit opcode selects
+/// add / subtract / AND / XOR over two 4-bit operands; outputs are the
+/// 4-bit result plus carry, zero, sign and parity flags.
+#[must_use]
+pub fn alu() -> Circuit {
+    Circuit::from_truth_fns("alu", 10, 8, |x, j| {
+        let (a, b, op) = (bits(x, 0, 4), bits(x, 4, 4), bits(x, 8, 2));
+        let raw = match op {
+            0 => a + b,
+            1 => a.wrapping_sub(b) & 0x1F,
+            2 => a & b,
+            _ => a ^ b,
+        };
+        let result = raw & 0xF;
+        let flags = u64::from(raw > 0xF)
+            | (u64::from(result == 0) << 1)
+            | (((result >> 3) & 1) << 2)
+            | (u64::from(result.count_ones() % 2 == 1) << 3);
+        let out = result | (flags << 4);
+        (out >> j) & 1 == 1
+    })
+    .with_description("4-bit ALU (add/sub/and/xor) with flags (surrogate)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_gf2::Gf2Vec;
+
+    fn out_word(c: &Circuit, x: u64) -> u64 {
+        let p = Gf2Vec::from_u64(c.num_inputs(), x);
+        (0..c.outputs().len())
+            .map(|j| u64::from(c.output(j).is_on(&p)) << j)
+            .sum()
+    }
+
+    #[test]
+    fn adder_adds() {
+        let c = adr4();
+        for (a, b) in [(0u64, 0u64), (3, 5), (15, 15), (9, 6), (7, 8)] {
+            assert_eq!(out_word(&c, a | (b << 4)), a + b, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn radd_equals_adr4() {
+        let a = adr4();
+        let r = radd();
+        assert_eq!(a.outputs(), r.outputs());
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let c = mlp4();
+        for (a, b) in [(0u64, 7u64), (3, 5), (15, 15), (12, 11)] {
+            assert_eq!(out_word(&c, a | (b << 4)), a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn life_rule_cases() {
+        let c = life();
+        let cell = 1u64 << 8;
+        // Dead cell with exactly 3 neighbours is born.
+        assert_eq!(out_word(&c, 0b0000_0111), 1);
+        // Alive with 2 neighbours survives.
+        assert_eq!(out_word(&c, cell | 0b0000_0011), 1);
+        // Alive with 1 neighbour dies; with 4 dies.
+        assert_eq!(out_word(&c, cell | 0b0000_0001), 0);
+        assert_eq!(out_word(&c, cell | 0b0000_1111), 0);
+        // Dead with 2 stays dead.
+        assert_eq!(out_word(&c, 0b0000_0011), 0);
+    }
+
+    #[test]
+    fn root_rounds_correctly() {
+        let c = root();
+        for (x, r) in [(0u64, 0u64), (1, 1), (2, 1), (3, 2), (4, 2), (16, 4), (240, 15), (255, 16)] {
+            assert_eq!(out_word(&c, x), r, "sqrt({x})");
+        }
+    }
+
+    #[test]
+    fn dist_is_absolute_difference_with_flag() {
+        let c = dist();
+        assert_eq!(out_word(&c, 3 | (9 << 4)), 6 | 16); // |3-9|=6, a<b
+        assert_eq!(out_word(&c, 9 | (3 << 4)), 6); // |9-3|=6, a>b
+        assert_eq!(out_word(&c, 5 | (5 << 4)), 0);
+    }
+
+    #[test]
+    fn cs8_low_outputs_have_small_support() {
+        let c = cs8();
+        // Sum bit k of an 8+8 adder depends on inputs 0..=k and 8..=8+k.
+        let (f1, vars) = c.output(1).project_to_support();
+        assert_eq!(vars, vec![0, 1, 8, 9]);
+        assert_eq!(f1.num_vars(), 4);
+    }
+
+    #[test]
+    fn expected_shapes() {
+        for (c, ni, no) in [
+            (adr4(), 8, 5),
+            (add6(), 12, 7),
+            (mlp4(), 8, 8),
+            (life(), 9, 1),
+            (root(), 8, 5),
+            (dist(), 8, 5),
+            (f51m(), 8, 8),
+            (addm4(), 9, 8),
+            (m3(), 8, 16),
+            (m4(), 8, 16),
+            (max128(), 7, 24),
+            (max512(), 9, 6),
+            (max1024(), 10, 6),
+            (alu(), 10, 8),
+            (cs8(), 16, 9),
+        ] {
+            assert_eq!(c.num_inputs(), ni, "{}", c.name());
+            assert_eq!(c.outputs().len(), no, "{}", c.name());
+            assert!(!c.description().is_empty(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn alu_opcodes() {
+        let c = alu();
+        let enc = |a: u64, b: u64, op: u64| a | (b << 4) | (op << 8);
+        assert_eq!(out_word(&c, enc(3, 5, 0)) & 0xF, 8); // add
+        assert_eq!(out_word(&c, enc(5, 3, 1)) & 0xF, 2); // sub
+        assert_eq!(out_word(&c, enc(12, 10, 2)) & 0xF, 8); // and
+        assert_eq!(out_word(&c, enc(12, 10, 3)) & 0xF, 6); // xor
+        // Zero flag fires on a zero result.
+        assert_eq!((out_word(&c, enc(0, 0, 0)) >> 5) & 1, 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! The multi-output benchmark circuit type.
+
+use std::fmt;
+
+use spp_boolfn::{BoolFn, Pla};
+
+/// A named multi-output benchmark function, as the paper's experiments
+/// consume them: each output is minimized separately.
+///
+/// # Examples
+///
+/// ```
+/// use spp_benchgen::Circuit;
+/// use spp_boolfn::BoolFn;
+///
+/// let parity2 = Circuit::from_truth_fns("par", 2, 1, |x, _| x.count_ones() % 2 == 1);
+/// assert_eq!(parity2.name(), "par");
+/// assert!(parity2.output(0).is_on(&spp_gf2::Gf2Vec::from_u64(2, 0b10)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    name: String,
+    num_inputs: usize,
+    outputs: Vec<BoolFn>,
+    description: String,
+}
+
+impl Circuit {
+    /// Builds a circuit from explicit output functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some output has a different input count.
+    #[must_use]
+    pub fn new(name: &str, num_inputs: usize, outputs: Vec<BoolFn>, description: &str) -> Self {
+        assert!(
+            outputs.iter().all(|f| f.num_vars() == num_inputs),
+            "all outputs must be over {num_inputs} inputs"
+        );
+        Circuit {
+            name: name.to_owned(),
+            num_inputs,
+            outputs,
+            description: description.to_owned(),
+        }
+    }
+
+    /// Builds a circuit by evaluating `truth(x, j)` for every input word
+    /// `x` and output index `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 24`.
+    #[must_use]
+    pub fn from_truth_fns<F>(name: &str, num_inputs: usize, num_outputs: usize, truth: F) -> Self
+    where
+        F: Fn(u64, usize) -> bool,
+    {
+        let outputs = (0..num_outputs)
+            .map(|j| BoolFn::from_truth_fn(num_inputs, |x| truth(x, j)))
+            .collect();
+        Circuit::new(name, num_inputs, outputs, "")
+    }
+
+    /// Builds a circuit from a parsed PLA.
+    #[must_use]
+    pub fn from_pla(name: &str, pla: &Pla) -> Self {
+        Circuit::new(name, pla.num_inputs(), pla.output_fns(), "")
+    }
+
+    /// The benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A one-line description of how the circuit was generated.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Overrides the description.
+    #[must_use]
+    pub fn with_description(mut self, description: &str) -> Self {
+        self.description = description.to_owned();
+        self
+    }
+
+    /// The number of inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The output functions.
+    #[must_use]
+    pub fn outputs(&self) -> &[BoolFn] {
+        &self.outputs
+    }
+
+    /// Output `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn output(&self, j: usize) -> &BoolFn {
+        &self.outputs[j]
+    }
+
+    /// Output `j` projected onto its true support — the form in which
+    /// single outputs of wide circuits (e.g. adder sum bits) are minimized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn output_on_support(&self, j: usize) -> BoolFn {
+        self.outputs[j].project_to_support().0
+    }
+
+    /// Exports the circuit as a minterm-level Espresso PLA (one row per
+    /// ON-minterm of any output), so regenerated benchmarks can be fed to
+    /// external tools or back through the PLA parser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than 20 inputs (row explosion).
+    #[must_use]
+    pub fn to_pla(&self) -> Pla {
+        assert!(self.num_inputs <= 20, "to_pla enumerates minterms");
+        let mut pla = Pla::new(self.num_inputs, self.outputs.len());
+        // Collect the union of ON minterms, then the output pattern of each.
+        let mut points: Vec<spp_gf2::Gf2Vec> =
+            self.outputs.iter().flat_map(|f| f.on_set().iter().copied()).collect();
+        points.sort_unstable();
+        points.dedup();
+        for p in points {
+            let pattern: String = self
+                .outputs
+                .iter()
+                .map(|f| if f.is_on(&p) { '1' } else { '0' })
+                .collect();
+            pla.push_term(spp_boolfn::Cube::from_point(p), &pattern);
+        }
+        pla.set_type(spp_boolfn::PlaType::F);
+        pla
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} inputs, {} outputs",
+            self.name,
+            self.num_inputs,
+            self.outputs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_fn_construction() {
+        let c = Circuit::from_truth_fns("and_or", 2, 2, |x, j| {
+            if j == 0 {
+                x == 0b11
+            } else {
+                x != 0
+            }
+        });
+        assert_eq!(c.output(0).on_set().len(), 1);
+        assert_eq!(c.output(1).on_set().len(), 3);
+        assert_eq!(c.to_string(), "and_or: 2 inputs, 2 outputs");
+    }
+
+    #[test]
+    fn output_on_support_reduces_width() {
+        // Output depends only on x3 of 6 inputs.
+        let c = Circuit::from_truth_fns("slice", 6, 1, |x, _| (x >> 3) & 1 == 1);
+        let g = c.output_on_support(0);
+        assert_eq!(g.num_vars(), 1);
+        assert_eq!(g.on_set().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "all outputs")]
+    fn mismatched_outputs_panic() {
+        let f = BoolFn::from_indices(2, &[1]);
+        let _ = Circuit::new("bad", 3, vec![f], "");
+    }
+
+    #[test]
+    fn pla_export_roundtrips() {
+        let c = Circuit::from_truth_fns("rt", 4, 3, |x, j| (x >> j) & 1 == 1 && x != 0);
+        let pla = c.to_pla();
+        let text = pla.to_pla_string();
+        let parsed: Pla = text.parse().unwrap();
+        for (j, f) in c.outputs().iter().enumerate() {
+            assert_eq!(&parsed.output_fn(j), f, "output {j}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Extension benchmark circuits beyond the paper's suite — classical
+//! combinational blocks with known EXOR structure, used by the form-study
+//! harness and the examples.
+
+use crate::Circuit;
+
+/// Binary → Gray code converter: output `j` is `x_j ⊕ x_{j+1}` (top bit
+/// passes through) — the canonical "SPP wins" circuit: every output is a
+/// two-literal pseudoproduct while SP needs four literals.
+///
+/// # Panics
+///
+/// Panics if `n > 24` or `n == 0`.
+#[must_use]
+pub fn binary_to_gray(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one bit");
+    Circuit::from_truth_fns(&format!("b2g{n}"), n, n, move |x, j| {
+        ((x >> j) ^ (x >> (j + 1))) & 1 == 1
+    })
+    .with_description("binary to Gray code converter (exact)")
+}
+
+/// Gray → binary converter: output `j` is the parity of the input bits
+/// from `j` upward — wide EXOR factors, the deepest SPP advantage.
+///
+/// # Panics
+///
+/// Panics if `n > 24` or `n == 0`.
+#[must_use]
+pub fn gray_to_binary(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one bit");
+    Circuit::from_truth_fns(&format!("g2b{n}"), n, n, move |x, j| {
+        (x >> j).count_ones() % 2 == 1
+    })
+    .with_description("Gray code to binary converter (exact)")
+}
+
+/// The `n`-input majority function (single output).
+///
+/// # Panics
+///
+/// Panics if `n > 24` or `n == 0`.
+#[must_use]
+pub fn majority(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one input");
+    Circuit::from_truth_fns(&format!("maj{n}"), n, 1, move |x, _| {
+        x.count_ones() as usize * 2 > n
+    })
+    .with_description("n-input majority (exact)")
+}
+
+/// A `2^s`-way multiplexer: `s` select bits (low inputs) choose one of
+/// `2^s` data bits.
+///
+/// # Panics
+///
+/// Panics if `s + 2^s > 24`.
+#[must_use]
+pub fn multiplexer(s: usize) -> Circuit {
+    let data = 1usize << s;
+    Circuit::from_truth_fns(&format!("mux{data}"), s + data, 1, move |x, _| {
+        let sel = (x & ((1 << s) - 1)) as usize;
+        (x >> (s + sel)) & 1 == 1
+    })
+    .with_description("2^s-way multiplexer (exact)")
+}
+
+/// An `n`-bit magnitude comparator: outputs `a < b`, `a = b`, `a > b`.
+/// The equality output is a product of two-literal EXNOR factors — a pure
+/// 2-SPP pseudoproduct.
+///
+/// # Panics
+///
+/// Panics if `2n > 24` or `n == 0`.
+#[must_use]
+pub fn comparator(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one bit");
+    Circuit::from_truth_fns(&format!("cmp{n}"), 2 * n, 3, move |x, j| {
+        let a = x & ((1 << n) - 1);
+        let b = x >> n;
+        match j {
+            0 => a < b,
+            1 => a == b,
+            _ => a > b,
+        }
+    })
+    .with_description("n-bit magnitude comparator: lt/eq/gt (exact)")
+}
+
+/// The parity of `n` inputs — the single-factor extreme of SPP forms.
+///
+/// # Panics
+///
+/// Panics if `n > 24` or `n == 0`.
+#[must_use]
+pub fn parity(n: usize) -> Circuit {
+    assert!(n > 0, "need at least one input");
+    Circuit::from_truth_fns(&format!("par{n}"), n, 1, |x, _| x.count_ones() % 2 == 1)
+        .with_description("n-input parity (exact)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_gf2::Gf2Vec;
+
+    fn out_word(c: &Circuit, x: u64) -> u64 {
+        let p = Gf2Vec::from_u64(c.num_inputs(), x);
+        (0..c.outputs().len())
+            .map(|j| u64::from(c.output(j).is_on(&p)) << j)
+            .sum()
+    }
+
+    #[test]
+    fn gray_roundtrip() {
+        let to_gray = binary_to_gray(5);
+        let to_bin = gray_to_binary(5);
+        for x in 0..32u64 {
+            let g = out_word(&to_gray, x);
+            assert_eq!(g, x ^ (x >> 1), "gray({x})");
+            assert_eq!(out_word(&to_bin, g), x, "binary(gray({x}))");
+        }
+    }
+
+    #[test]
+    fn majority_counts() {
+        let m = majority(5);
+        assert_eq!(out_word(&m, 0b10101), 1);
+        assert_eq!(out_word(&m, 0b00101), 0);
+        assert_eq!(out_word(&m, 0b11111), 1);
+        assert_eq!(out_word(&m, 0), 0);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let m = multiplexer(2); // 2 select + 4 data bits
+        for sel in 0..4u64 {
+            for data in 0..16u64 {
+                let x = sel | (data << 2);
+                assert_eq!(out_word(&m, x), (data >> sel) & 1, "sel={sel} data={data:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let c = comparator(3);
+        let enc = |a: u64, b: u64| a | (b << 3);
+        assert_eq!(out_word(&c, enc(2, 5)), 0b001); // lt
+        assert_eq!(out_word(&c, enc(5, 5)), 0b010); // eq
+        assert_eq!(out_word(&c, enc(7, 1)), 0b100); // gt
+    }
+
+    #[test]
+    fn parity_is_odd_weight() {
+        let p = parity(6);
+        assert_eq!(out_word(&p, 0b101010), 1);
+        assert_eq!(out_word(&p, 0b101011), 0);
+    }
+
+    #[test]
+    fn spp_collapses_gray_converter() {
+        use spp_core::{minimize_spp_exact, SppOptions};
+        // Every binary→Gray output is a single 2-literal factor.
+        let c = binary_to_gray(4);
+        for j in 0..3 {
+            let f = c.output_on_support(j);
+            let r = minimize_spp_exact(&f, &SppOptions::default());
+            assert_eq!(r.literal_count(), 2, "output {j}");
+            assert_eq!(r.form.num_pseudoproducts(), 1);
+        }
+    }
+
+    #[test]
+    fn spp_collapses_comparator_equality() {
+        use spp_core::{minimize_spp_exact, SppOptions};
+        let c = comparator(3);
+        let eq = c.output_on_support(1);
+        let r = minimize_spp_exact(&eq, &SppOptions::default());
+        // (a0⊕b̄0)·(a1⊕b̄1)·(a2⊕b̄2): one pseudoproduct, 6 literals.
+        assert_eq!(r.form.num_pseudoproducts(), 1);
+        assert_eq!(r.literal_count(), 6);
+    }
+}

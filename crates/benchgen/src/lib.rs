@@ -1,0 +1,40 @@
+//! Benchmark-function generators for the SPP evaluation.
+//!
+//! The paper evaluates on the ESPRESSO/MCNC benchmark suite, whose PLA
+//! files are not redistributable here. This crate regenerates each
+//! benchmark *by name* (see DESIGN.md §3 for the substitution policy):
+//!
+//! - mathematically defined circuits are generated exactly from their
+//!   definitions ([`arith`]): adders (`adr4`, `radd`, `add6`, `cs8`), the
+//!   4×4 multiplier (`mlp4`), the Game-of-Life rule (`life`), integer
+//!   square root (`root`), ...;
+//! - loosely defined arithmetic names get documented arithmetic surrogates
+//!   with the original `(#inputs, #outputs)` shape;
+//! - PLA/ROM dumps with no public definition get deterministic seeded
+//!   surrogates ([`surrogate`]), in a cube-soup style (where SPP ≈ SP, the
+//!   paper's `newtpla2` regime) or an affine-masked style (where SPP ≪ SP).
+//!
+//! The [`registry`] maps benchmark names to [`Circuit`]s; every generator
+//! is deterministic, so the harness tables are reproducible bit for bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use spp_benchgen::registry;
+//!
+//! let adr4 = registry::circuit("adr4").unwrap();
+//! assert_eq!(adr4.num_inputs(), 8);
+//! assert_eq!(adr4.outputs().len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod combinational;
+pub mod registry;
+pub mod surrogate;
+
+mod circuit;
+
+pub use circuit::Circuit;

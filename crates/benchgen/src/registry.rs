@@ -1,0 +1,175 @@
+//! Name → circuit registry for every benchmark the paper's tables and
+//! figures mention, plus parameterized extension circuits.
+
+use crate::{arith, combinational, surrogate, Circuit};
+
+/// Every benchmark name the registry can generate, in the order the
+/// paper's Table 1 lists them, followed by the extra functions of Tables
+/// 2–3 and the figures.
+pub const ALL_NAMES: &[&str] = &[
+    // Table 1
+    "addm4", "adr4", "dist", "ex5", "exps", "life", "lin.rom", "m3", "m4", "max128", "max512",
+    "mlp4", "newcond", "newtpla2", "p1", "prom2", "radd", "root", "test1",
+    // Table 2 additions
+    "cs8", "prom1", "risc",
+    // Table 3 / figure additions
+    "alu", "add6", "amd", "f51m", "max1024",
+];
+
+/// Generates the benchmark `name`, or `None` for an unknown name.
+///
+/// Every generator is deterministic — repeated calls return the same
+/// function. See DESIGN.md §3 for what each name regenerates (exact
+/// definition, arithmetic surrogate, or seeded PLA surrogate).
+///
+/// Besides [`ALL_NAMES`], parameterized extension circuits are accepted:
+/// `b2g<k>` / `g2b<k>` (Gray converters), `maj<k>` (majority), `mux<d>`
+/// (`d = 2^s`-way multiplexer), `cmp<k>` (comparator) and `par<k>`
+/// (parity), e.g. `b2g6` or `cmp4`.
+///
+/// # Examples
+///
+/// ```
+/// use spp_benchgen::registry;
+///
+/// assert!(registry::circuit("life").is_some());
+/// assert!(registry::circuit("nonexistent").is_none());
+/// assert_eq!(registry::circuit("cmp3").unwrap().num_inputs(), 6);
+/// for name in registry::ALL_NAMES {
+///     assert!(registry::circuit(name).is_some(), "{name}");
+/// }
+/// ```
+#[must_use]
+pub fn circuit(name: &str) -> Option<Circuit> {
+    if let Some(c) = parameterized(name) {
+        return Some(c);
+    }
+    // Seeds are arbitrary fixed constants chosen once; they only need to
+    // be stable so published tables are reproducible.
+    let c = match name {
+        "adr4" => arith::adr4(),
+        "radd" => arith::radd(),
+        "add6" => arith::add6(),
+        "cs8" => arith::cs8(),
+        "mlp4" => arith::mlp4(),
+        "life" => arith::life(),
+        "root" => arith::root(),
+        "dist" => arith::dist(),
+        "f51m" => arith::f51m(),
+        "addm4" => arith::addm4(),
+        "m3" => arith::m3(),
+        "m4" => arith::m4(),
+        "max128" => arith::max128(),
+        "max512" => arith::max512(),
+        "max1024" => arith::max1024(),
+        "alu" => arith::alu(),
+        // ROM/PLA dumps without public definitions: seeded surrogates with
+        // the MCNC (#inputs, #outputs) shape. Mix of regimes per DESIGN.md.
+        "ex5" => surrogate::xor_rich("ex5", 8, 63, 0xE5),
+        "exps" => surrogate::mixed("exps", 8, 38, 0xE4B5),
+        "lin.rom" => surrogate::mixed("lin.rom", 7, 36, 0x11508),
+        "newcond" => surrogate::random_pla("newcond", 11, 2, 39, 0x4ECC0),
+        "newtpla2" => surrogate::random_pla("newtpla2", 10, 4, 23, 0x4E75),
+        "p1" => surrogate::mixed("p1", 8, 18, 0x9101),
+        "prom1" => surrogate::mixed("prom1", 9, 40, 0x960A1),
+        "prom2" => surrogate::mixed("prom2", 9, 21, 0x960A2),
+        "risc" => surrogate::random_pla("risc", 8, 31, 28, 0x915C),
+        "test1" => surrogate::xor_rich("test1", 8, 10, 0x7E57),
+        "amd" => surrogate::mixed("amd", 14, 24, 0xA3D),
+        _ => return None,
+    };
+    Some(c)
+}
+
+/// Parses parameterized extension-circuit names (`b2g6`, `maj5`, ...).
+fn parameterized(name: &str) -> Option<Circuit> {
+    // The parameter is the trailing digit run (prefixes may contain
+    // digits themselves, e.g. "b2g").
+    let split = name.rfind(|c: char| !c.is_ascii_digit())? + 1;
+    let (prefix, digits) = name.split_at(split);
+    let k: usize = digits.parse().ok()?;
+    if k == 0 {
+        return None;
+    }
+    match prefix {
+        "b2g" if k <= 16 => Some(combinational::binary_to_gray(k)),
+        "g2b" if k <= 16 => Some(combinational::gray_to_binary(k)),
+        "maj" if k <= 16 => Some(combinational::majority(k)),
+        "par" if k <= 16 => Some(combinational::parity(k)),
+        "cmp" if k <= 8 => Some(combinational::comparator(k)),
+        "mux" if k.is_power_of_two() && (2..=16).contains(&k) => {
+            Some(combinational::multiplexer(k.trailing_zeros() as usize))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_resolve_with_mcnc_shapes() {
+        let expected_shape = [
+            ("addm4", 9, 8),
+            ("adr4", 8, 5),
+            ("dist", 8, 5),
+            ("ex5", 8, 63),
+            ("exps", 8, 38),
+            ("life", 9, 1),
+            ("lin.rom", 7, 36),
+            ("m3", 8, 16),
+            ("m4", 8, 16),
+            ("max128", 7, 24),
+            ("max512", 9, 6),
+            ("mlp4", 8, 8),
+            ("newcond", 11, 2),
+            ("newtpla2", 10, 4),
+            ("p1", 8, 18),
+            ("prom2", 9, 21),
+            ("radd", 8, 5),
+            ("root", 8, 5),
+            ("test1", 8, 10),
+            ("cs8", 16, 9),
+            ("prom1", 9, 40),
+            ("risc", 8, 31),
+            ("alu", 10, 8),
+            ("add6", 12, 7),
+            ("amd", 14, 24),
+            ("f51m", 8, 8),
+            ("max1024", 10, 6),
+        ];
+        assert_eq!(expected_shape.len(), ALL_NAMES.len());
+        for (name, ni, no) in expected_shape {
+            let c = circuit(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(c.num_inputs(), ni, "{name} inputs");
+            assert_eq!(c.outputs().len(), no, "{name} outputs");
+        }
+    }
+
+    #[test]
+    fn registry_is_deterministic() {
+        let a = circuit("prom2").unwrap();
+        let b = circuit("prom2").unwrap();
+        assert_eq!(a.outputs(), b.outputs());
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        assert!(circuit("").is_none());
+        assert!(circuit("adr5").is_none());
+        assert!(circuit("b2g0").is_none());
+        assert!(circuit("mux3").is_none()); // not a power of two
+        assert!(circuit("b2g99").is_none()); // too wide
+    }
+
+    #[test]
+    fn parameterized_names_resolve() {
+        assert_eq!(circuit("b2g6").unwrap().num_inputs(), 6);
+        assert_eq!(circuit("g2b4").unwrap().outputs().len(), 4);
+        assert_eq!(circuit("maj7").unwrap().outputs().len(), 1);
+        assert_eq!(circuit("mux4").unwrap().num_inputs(), 6); // 2 select + 4 data
+        assert_eq!(circuit("cmp2").unwrap().outputs().len(), 3);
+        assert_eq!(circuit("par9").unwrap().num_inputs(), 9);
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic surrogates for benchmarks with no public mathematical
+//! definition (PLA/ROM dumps of the MCNC suite).
+//!
+//! Two regimes matter for the paper's evaluation:
+//!
+//! - **cube soup** ([`random_pla`]): unions of random product terms, where
+//!   EXOR structure barely helps — the paper's `newtpla2` shows SPP = SP;
+//! - **affine-masked** ([`xor_rich`]): outputs that AND parities with
+//!   cubes, where SPP forms collapse dramatically below SP.
+//!
+//! All generators take an explicit seed and use a counter-based RNG, so
+//! every run of the harness reproduces the same functions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spp_boolfn::{BoolFn, Cube};
+use spp_gf2::Gf2Vec;
+
+use crate::Circuit;
+
+/// A deterministic random PLA: `n_terms` product terms over `n_in` inputs,
+/// each raising a random non-empty subset of the `n_out` outputs.
+///
+/// # Panics
+///
+/// Panics if `n_in > 24` or `n_in == 0` or `n_out == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use spp_benchgen::surrogate::random_pla;
+///
+/// let c = random_pla("toy", 5, 2, 6, 42);
+/// assert_eq!(c.num_inputs(), 5);
+/// assert_eq!(c.outputs().len(), 2);
+/// // Same seed, same function.
+/// assert_eq!(c.outputs(), random_pla("toy", 5, 2, 6, 42).outputs());
+/// ```
+#[must_use]
+pub fn random_pla(name: &str, n_in: usize, n_out: usize, n_terms: usize, seed: u64) -> Circuit {
+    assert!(n_in > 0 && n_out > 0, "dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cubes: Vec<(Cube, Vec<bool>)> = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        let mut mask = Gf2Vec::zeros(n_in);
+        let mut values = Gf2Vec::zeros(n_in);
+        for i in 0..n_in {
+            // Bind roughly two thirds of the variables.
+            if rng.gen_bool(0.66) {
+                mask.set(i, true);
+                values.set(i, rng.gen_bool(0.5));
+            }
+        }
+        let mut outs: Vec<bool> = (0..n_out).map(|_| rng.gen_bool(0.35)).collect();
+        if !outs.iter().any(|&b| b) {
+            let j = rng.gen_range(0..n_out);
+            outs[j] = true;
+        }
+        cubes.push((Cube::new(mask, values), outs));
+    }
+    let outputs = (0..n_out)
+        .map(|j| {
+            let sel: Vec<Cube> = cubes
+                .iter()
+                .filter(|(_, outs)| outs[j])
+                .map(|(c, _)| *c)
+                .collect();
+            BoolFn::from_cubes(n_in, &sel)
+        })
+        .collect();
+    Circuit::new(name, n_in, outputs, "deterministic random-PLA surrogate (cube soup)")
+}
+
+/// A deterministic affine-masked surrogate: each output is
+/// `(parity(x & A) ∧ cube1(x)) ∨ (parity(x & B) ∧ cube2(x))`, with random
+/// masks and cubes — functions where SPP forms are much smaller than SP.
+///
+/// # Panics
+///
+/// Panics if `n_in > 24` or `n_in == 0` or `n_out == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use spp_benchgen::surrogate::xor_rich;
+///
+/// let c = xor_rich("toy", 6, 3, 7);
+/// assert_eq!(c.num_inputs(), 6);
+/// assert_eq!(c.outputs().len(), 3);
+/// ```
+#[must_use]
+pub fn xor_rich(name: &str, n_in: usize, n_out: usize, seed: u64) -> Circuit {
+    assert!(n_in > 0 && n_out > 0, "dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outputs = Vec::with_capacity(n_out);
+    for _ in 0..n_out {
+        let a = nonzero_mask(&mut rng, n_in);
+        let b = nonzero_mask(&mut rng, n_in);
+        let (m1, v1) = sparse_cube(&mut rng, n_in, 0.3);
+        let (m2, v2) = sparse_cube(&mut rng, n_in, 0.3);
+        outputs.push(BoolFn::from_truth_fn(n_in, |x| {
+            let branch1 = (x & a).count_ones() % 2 == 1 && x & m1 == v1;
+            let branch2 = (x & b).count_ones().is_multiple_of(2) && x & m2 == v2;
+            branch1 || branch2
+        }));
+    }
+    Circuit::new(name, n_in, outputs, "deterministic affine-masked surrogate (xor-rich)")
+}
+
+/// A deterministic blend of the two regimes: even outputs are
+/// affine-masked (as in [`xor_rich`]), odd outputs are small unions of
+/// random cubes (as in [`random_pla`]) — modelling ROM-like benchmarks
+/// where some outputs have EXOR structure and others do not.
+///
+/// # Panics
+///
+/// Panics if `n_in > 24` or `n_in == 0` or `n_out == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use spp_benchgen::surrogate::mixed;
+///
+/// let c = mixed("rom", 7, 4, 3);
+/// assert_eq!(c.outputs().len(), 4);
+/// assert_eq!(c.outputs(), mixed("rom", 7, 4, 3).outputs());
+/// ```
+#[must_use]
+pub fn mixed(name: &str, n_in: usize, n_out: usize, seed: u64) -> Circuit {
+    assert!(n_in > 0 && n_out > 0, "dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outputs = Vec::with_capacity(n_out);
+    for j in 0..n_out {
+        if j % 2 == 0 {
+            let a = nonzero_mask(&mut rng, n_in);
+            let (m1, v1) = sparse_cube(&mut rng, n_in, 0.35);
+            let (m2, v2) = sparse_cube(&mut rng, n_in, 0.5);
+            outputs.push(BoolFn::from_truth_fn(n_in, |x| {
+                ((x & a).count_ones() % 2 == 1 && x & m1 == v1) || x & m2 == v2
+            }));
+        } else {
+            let cubes: Vec<(u64, u64)> =
+                (0..4).map(|_| sparse_cube(&mut rng, n_in, 0.6)).collect();
+            outputs.push(BoolFn::from_truth_fn(n_in, |x| {
+                cubes.iter().any(|&(m, v)| x & m == v)
+            }));
+        }
+    }
+    Circuit::new(name, n_in, outputs, "deterministic mixed surrogate (parity + cube outputs)")
+}
+
+fn nonzero_mask(rng: &mut StdRng, n: usize) -> u64 {
+    loop {
+        let m = rng.gen::<u64>() & ((1 << n) - 1);
+        if m != 0 {
+            return m;
+        }
+    }
+}
+
+fn sparse_cube(rng: &mut StdRng, n: usize, density: f64) -> (u64, u64) {
+    let mut mask = 0u64;
+    let mut values = 0u64;
+    for i in 0..n {
+        if rng.gen_bool(density) {
+            mask |= 1 << i;
+            if rng.gen_bool(0.5) {
+                values |= 1 << i;
+            }
+        }
+    }
+    (mask, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_pla_is_deterministic() {
+        let a = random_pla("x", 6, 4, 10, 7);
+        let b = random_pla("x", 6, 4, 10, 7);
+        assert_eq!(a.outputs(), b.outputs());
+        let c = random_pla("x", 6, 4, 10, 8);
+        assert_ne!(a.outputs(), c.outputs(), "different seeds must differ");
+    }
+
+    #[test]
+    fn random_pla_outputs_are_nonempty_usually() {
+        let c = random_pla("x", 7, 3, 20, 123);
+        for (j, f) in c.outputs().iter().enumerate() {
+            assert!(!f.is_zero(), "output {j} is empty");
+        }
+    }
+
+    #[test]
+    fn xor_rich_is_deterministic_and_nonconstant() {
+        let a = xor_rich("y", 7, 5, 99);
+        let b = xor_rich("y", 7, 5, 99);
+        assert_eq!(a.outputs(), b.outputs());
+        for f in a.outputs() {
+            assert!(!f.is_zero());
+            assert!(f.on_set().len() < 1 << 7);
+        }
+    }
+
+    #[test]
+    fn shapes_match_requests() {
+        let c = random_pla("z", 9, 12, 30, 1);
+        assert_eq!(c.num_inputs(), 9);
+        assert_eq!(c.outputs().len(), 12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for parsing cubes and PLA files.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`Cube`](crate::Cube) from positional
+/// notation fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseCubeError {
+    /// The string contained a character other than `0`, `1`, `-`, `x`, `X`
+    /// or `2`.
+    BadChar {
+        /// Zero-based position of the offending character.
+        position: usize,
+        /// The character found.
+        found: char,
+    },
+    /// The string is longer than [`spp_gf2::MAX_BITS`] variables.
+    TooLong {
+        /// The length of the input.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ParseCubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCubeError::BadChar { position, found } => {
+                write!(f, "invalid cube character {found:?} at position {position}")
+            }
+            ParseCubeError::TooLong { len } => {
+                write!(f, "cube with {len} variables exceeds the supported maximum")
+            }
+        }
+    }
+}
+
+impl Error for ParseCubeError {}
+
+/// Error returned when parsing an Espresso `.pla` file fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsePlaError {
+    /// A directive or term line could not be parsed.
+    Syntax {
+        /// One-based line number.
+        line: usize,
+        /// Explanation of what went wrong.
+        message: String,
+    },
+    /// The `.i` directive is missing and could not be inferred.
+    MissingInputs,
+    /// The `.o` directive is missing and could not be inferred.
+    MissingOutputs,
+    /// A term line has the wrong number of input or output columns.
+    WrongWidth {
+        /// One-based line number.
+        line: usize,
+        /// Expected number of columns.
+        expected: usize,
+        /// Number of columns found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParsePlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePlaError::Syntax { line, message } => {
+                write!(f, "PLA syntax error on line {line}: {message}")
+            }
+            ParsePlaError::MissingInputs => write!(f, "PLA file does not declare .i"),
+            ParsePlaError::MissingOutputs => write!(f, "PLA file does not declare .o"),
+            ParsePlaError::WrongWidth { line, expected, found } => write!(
+                f,
+                "PLA term on line {line} has {found} columns, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for ParsePlaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ParseCubeError::BadChar { position: 3, found: 'q' };
+        assert!(e.to_string().contains("position 3"));
+        let e = ParsePlaError::WrongWidth { line: 7, expected: 4, found: 5 };
+        assert!(e.to_string().contains("line 7"));
+        assert!(ParsePlaError::MissingInputs.to_string().contains(".i"));
+    }
+}

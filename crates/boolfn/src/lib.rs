@@ -1,0 +1,39 @@
+//! Boolean-function substrate for the `spp` workspace.
+//!
+//! This crate provides the classical two-level objects the SPP algorithms
+//! are built on and compared against:
+//!
+//! - [`Cube`]: a product term over `B^n` (positional `01-` notation);
+//! - [`BoolFn`]: a single-output, incompletely specified Boolean function
+//!   given by its ON-set (and optional DC-set) of minterms;
+//! - [`Pla`]: a multi-output PLA in the Espresso/MCNC `.pla` exchange
+//!   format, with a parser and writer.
+//!
+//! Points of `B^n` are [`spp_gf2::Gf2Vec`]s: bit `i` is the value of
+//! variable `x_i`.
+//!
+//! # Examples
+//!
+//! ```
+//! use spp_boolfn::{BoolFn, Cube};
+//!
+//! // The 3-input majority function.
+//! let maj = BoolFn::from_truth_fn(3, |x| x.count_ones() >= 2);
+//! assert_eq!(maj.on_set().len(), 4);
+//! let cube: Cube = "11-".parse()?;
+//! assert!(cube.points().all(|p| maj.is_on(&p)));
+//! # Ok::<(), spp_boolfn::ParseCubeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod error;
+mod func;
+mod pla;
+
+pub use cube::{Cube, CubePoints};
+pub use error::{ParseCubeError, ParsePlaError};
+pub use func::{all_points, BoolFn, Value};
+pub use pla::{Pla, PlaType};

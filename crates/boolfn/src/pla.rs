@@ -1,0 +1,430 @@
+//! Espresso/MCNC `.pla` file parsing and writing.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{BoolFn, Cube, ParsePlaError};
+
+/// The logical interpretation of a PLA's output columns (the `.type`
+/// directive of the Espresso format).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PlaType {
+    /// `f`: `1` entries are the ON-set; everything else is OFF.
+    F,
+    /// `fd` (the Espresso default): `1` = ON, `-` = don't-care, `0` = OFF.
+    #[default]
+    Fd,
+    /// `fr`: `1` = ON, `0` = OFF, unlisted = don't-care. This crate treats
+    /// unlisted points as OFF (fully specified), which matches how the
+    /// paper's benchmarks are minimized.
+    Fr,
+    /// `fdr`: all three sets listed explicitly.
+    Fdr,
+}
+
+impl PlaType {
+    fn has_dc(self) -> bool {
+        matches!(self, PlaType::Fd | PlaType::Fdr)
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            PlaType::F => "f",
+            PlaType::Fd => "fd",
+            PlaType::Fr => "fr",
+            PlaType::Fdr => "fdr",
+        }
+    }
+}
+
+/// One output column entry of a PLA term row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum OutEntry {
+    One,
+    Zero,
+    Dash,
+    Tilde,
+}
+
+/// A multi-output PLA: a list of input cubes, each with a per-output
+/// annotation, as read from an Espresso `.pla` file.
+///
+/// A `Pla` is an *exchange format*, not a minimization target: call
+/// [`Pla::output_fn`] (or [`Pla::output_fns`]) to obtain the single-output
+/// [`BoolFn`]s the minimizers work on — the paper minimizes each output of
+/// each benchmark separately.
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::Pla;
+///
+/// let text = "\
+/// .i 3
+/// .o 2
+/// 1-0 10
+/// 011 11
+/// .e
+/// ";
+/// let pla: Pla = text.parse()?;
+/// assert_eq!(pla.num_inputs(), 3);
+/// assert_eq!(pla.num_outputs(), 2);
+/// let f0 = pla.output_fn(0);
+/// assert_eq!(f0.on_set().len(), 3); // 1-0 has 2 points, 011 has 1
+/// # Ok::<(), spp_boolfn::ParsePlaError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pla {
+    num_inputs: usize,
+    num_outputs: usize,
+    input_labels: Vec<String>,
+    output_labels: Vec<String>,
+    terms: Vec<(Cube, Vec<OutEntry>)>,
+    ptype: PlaType,
+}
+
+impl Pla {
+    /// Creates an empty PLA with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs` exceeds [`spp_gf2::MAX_BITS`].
+    #[must_use]
+    pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
+        assert!(num_inputs <= spp_gf2::MAX_BITS, "too many inputs");
+        Pla {
+            num_inputs,
+            num_outputs,
+            input_labels: Vec::new(),
+            output_labels: Vec::new(),
+            terms: Vec::new(),
+            ptype: PlaType::default(),
+        }
+    }
+
+    /// Sets the `.type` of the PLA.
+    pub fn set_type(&mut self, ptype: PlaType) {
+        self.ptype = ptype;
+    }
+
+    /// The `.type` of the PLA.
+    #[must_use]
+    pub fn pla_type(&self) -> PlaType {
+        self.ptype
+    }
+
+    /// The number of input variables.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The number of outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The number of term rows.
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The input labels (`.ilb`), empty if not declared.
+    #[must_use]
+    pub fn input_labels(&self) -> &[String] {
+        &self.input_labels
+    }
+
+    /// The output labels (`.ob`), empty if not declared.
+    #[must_use]
+    pub fn output_labels(&self) -> &[String] {
+        &self.output_labels
+    }
+
+    /// Adds a term row: an input cube and its output pattern (a string of
+    /// `0`, `1`, `-`, `~`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube or pattern widths do not match the PLA, or the
+    /// pattern contains an invalid character.
+    pub fn push_term(&mut self, cube: Cube, outputs: &str) {
+        assert_eq!(cube.num_vars(), self.num_inputs, "cube width mismatch");
+        assert_eq!(outputs.len(), self.num_outputs, "output pattern width mismatch");
+        let entries = outputs
+            .chars()
+            .map(|c| match c {
+                '1' | '4' => OutEntry::One,
+                '0' => OutEntry::Zero,
+                '-' | '2' | 'x' | 'X' => OutEntry::Dash,
+                '~' | '3' => OutEntry::Tilde,
+                _ => panic!("invalid output character {c:?}"),
+            })
+            .collect();
+        self.terms.push((cube, entries));
+    }
+
+    /// The single-output function of output `j`: the union of the points of
+    /// the cubes marked `1`, with `-` cubes as don't-cares when the PLA
+    /// type declares a DC-set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.num_outputs()` or the input space exceeds 24
+    /// variables (minterm expansion would be too large).
+    #[must_use]
+    pub fn output_fn(&self, j: usize) -> BoolFn {
+        assert!(j < self.num_outputs, "output {j} out of range");
+        let mut on = Vec::new();
+        let mut dc = Vec::new();
+        for (cube, entries) in &self.terms {
+            match entries[j] {
+                OutEntry::One => on.extend(cube.points()),
+                OutEntry::Dash if self.ptype.has_dc() => dc.extend(cube.points()),
+                _ => {}
+            }
+        }
+        BoolFn::with_dont_cares(self.num_inputs, on, dc)
+    }
+
+    /// All outputs as separate functions, in order.
+    #[must_use]
+    pub fn output_fns(&self) -> Vec<BoolFn> {
+        (0..self.num_outputs).map(|j| self.output_fn(j)).collect()
+    }
+
+    /// Serializes the PLA back to `.pla` text.
+    #[must_use]
+    pub fn to_pla_string(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(".i {}\n.o {}\n", self.num_inputs, self.num_outputs));
+        if !self.input_labels.is_empty() {
+            s.push_str(&format!(".ilb {}\n", self.input_labels.join(" ")));
+        }
+        if !self.output_labels.is_empty() {
+            s.push_str(&format!(".ob {}\n", self.output_labels.join(" ")));
+        }
+        s.push_str(&format!(".type {}\n.p {}\n", self.ptype.as_str(), self.terms.len()));
+        for (cube, entries) in &self.terms {
+            s.push_str(&cube.to_string());
+            s.push(' ');
+            for e in entries {
+                s.push(match e {
+                    OutEntry::One => '1',
+                    OutEntry::Zero => '0',
+                    OutEntry::Dash => '-',
+                    OutEntry::Tilde => '~',
+                });
+            }
+            s.push('\n');
+        }
+        s.push_str(".e\n");
+        s
+    }
+}
+
+impl FromStr for Pla {
+    type Err = ParsePlaError;
+
+    fn from_str(text: &str) -> Result<Self, ParsePlaError> {
+        let mut num_inputs: Option<usize> = None;
+        let mut num_outputs: Option<usize> = None;
+        let mut input_labels = Vec::new();
+        let mut output_labels = Vec::new();
+        let mut ptype = PlaType::default();
+        let mut raw_terms: Vec<(usize, String, String)> = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = lineno + 1;
+            if let Some(rest) = line.strip_prefix('.') {
+                let mut parts = rest.split_whitespace();
+                let directive = parts.next().unwrap_or("");
+                match directive {
+                    "i" => {
+                        num_inputs = Some(parse_num(parts.next(), lineno, ".i")?);
+                    }
+                    "o" => {
+                        num_outputs = Some(parse_num(parts.next(), lineno, ".o")?);
+                    }
+                    "p" => {
+                        let _ = parse_num(parts.next(), lineno, ".p")?;
+                    }
+                    "ilb" => input_labels = parts.map(str::to_owned).collect(),
+                    "ob" => output_labels = parts.map(str::to_owned).collect(),
+                    "type" => {
+                        ptype = match parts.next() {
+                            Some("f") => PlaType::F,
+                            Some("fd") => PlaType::Fd,
+                            Some("fr") => PlaType::Fr,
+                            Some("fdr") => PlaType::Fdr,
+                            other => {
+                                return Err(ParsePlaError::Syntax {
+                                    line: lineno,
+                                    message: format!("unknown .type {other:?}"),
+                                })
+                            }
+                        };
+                    }
+                    "e" | "end" => break,
+                    // Directives we accept and ignore (phases, pair info...).
+                    "phase" | "pair" | "symbolic" | "mv" | "kiss" | "label" => {}
+                    other => {
+                        return Err(ParsePlaError::Syntax {
+                            line: lineno,
+                            message: format!("unknown directive .{other}"),
+                        })
+                    }
+                }
+            } else {
+                // A term row: input part and output part, optionally
+                // separated by whitespace or '|'.
+                let cleaned: String =
+                    line.chars().filter(|c| !c.is_whitespace() && *c != '|').collect();
+                let ni = num_inputs.ok_or(ParsePlaError::MissingInputs)?;
+                let no = num_outputs.ok_or(ParsePlaError::MissingOutputs)?;
+                if cleaned.len() != ni + no {
+                    return Err(ParsePlaError::WrongWidth {
+                        line: lineno,
+                        expected: ni + no,
+                        found: cleaned.len(),
+                    });
+                }
+                raw_terms.push((lineno, cleaned[..ni].to_owned(), cleaned[ni..].to_owned()));
+            }
+        }
+
+        let num_inputs = num_inputs.ok_or(ParsePlaError::MissingInputs)?;
+        let num_outputs = num_outputs.ok_or(ParsePlaError::MissingOutputs)?;
+        let mut pla = Pla::new(num_inputs, num_outputs);
+        pla.set_type(ptype);
+        pla.input_labels = input_labels;
+        pla.output_labels = output_labels;
+        for (lineno, input_part, output_part) in raw_terms {
+            let cube: Cube = input_part.parse().map_err(|e| ParsePlaError::Syntax {
+                line: lineno,
+                message: format!("bad input cube: {e}"),
+            })?;
+            if output_part.chars().any(|c| !matches!(c, '0' | '1' | '-' | '~' | '2' | '3' | '4' | 'x' | 'X')) {
+                return Err(ParsePlaError::Syntax {
+                    line: lineno,
+                    message: "bad output pattern".to_owned(),
+                });
+            }
+            pla.push_term(cube, &output_part);
+        }
+        Ok(pla)
+    }
+}
+
+fn parse_num(tok: Option<&str>, line: usize, what: &str) -> Result<usize, ParsePlaError> {
+    tok.and_then(|t| t.parse().ok()).ok_or_else(|| ParsePlaError::Syntax {
+        line,
+        message: format!("{what} expects a number"),
+    })
+}
+
+impl fmt::Display for Pla {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pla_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-0 10
+011 11
+000 01
+.e
+";
+
+    #[test]
+    fn parse_sample() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        assert_eq!(pla.num_inputs(), 3);
+        assert_eq!(pla.num_outputs(), 2);
+        assert_eq!(pla.num_terms(), 3);
+        assert_eq!(pla.input_labels(), &["a", "b", "c"]);
+        assert_eq!(pla.output_labels(), &["f", "g"]);
+        assert_eq!(pla.pla_type(), PlaType::Fd);
+    }
+
+    #[test]
+    fn output_functions() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        let f = pla.output_fn(0);
+        // 1-0 expands to {100, 110}; 011 adds {011}.
+        assert_eq!(f.on_set().len(), 3);
+        let g = pla.output_fn(1);
+        assert_eq!(g.on_set().len(), 2); // {011, 000}
+        assert_eq!(pla.output_fns().len(), 2);
+    }
+
+    #[test]
+    fn dc_outputs_respect_type() {
+        let text = ".i 2\n.o 1\n.type fd\n11 1\n00 -\n.e\n";
+        let pla: Pla = text.parse().unwrap();
+        let f = pla.output_fn(0);
+        assert_eq!(f.on_set().len(), 1);
+        assert_eq!(f.dc_set().len(), 1);
+
+        let text_f = ".i 2\n.o 1\n.type f\n11 1\n00 -\n.e\n";
+        let pla: Pla = text_f.parse().unwrap();
+        let f = pla.output_fn(0);
+        assert!(f.dc_set().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let pla: Pla = SAMPLE.parse().unwrap();
+        let again: Pla = pla.to_pla_string().parse().unwrap();
+        assert_eq!(pla, again);
+    }
+
+    #[test]
+    fn term_without_space_parses() {
+        let pla: Pla = ".i 2\n.o 1\n111\n.e\n".parse().unwrap();
+        assert_eq!(pla.num_terms(), 1);
+        assert!(pla.output_fn(0).is_on(&spp_gf2::Gf2Vec::from_bit_str("11").unwrap()));
+    }
+
+    #[test]
+    fn missing_i_is_an_error() {
+        let err = ".o 1\n1 1\n".parse::<Pla>().unwrap_err();
+        assert_eq!(err, ParsePlaError::MissingInputs);
+    }
+
+    #[test]
+    fn wrong_width_is_reported_with_line() {
+        let err = ".i 2\n.o 1\n1111 1\n".parse::<Pla>().unwrap_err();
+        assert!(matches!(err, ParsePlaError::WrongWidth { line: 3, expected: 3, found: 5 }));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = ".i 1\n.o 1\n.bogus\n".parse::<Pla>().unwrap_err();
+        assert!(matches!(err, ParsePlaError::Syntax { line: 3, .. }));
+    }
+
+    #[test]
+    fn tilde_outputs_are_ignored_points() {
+        let text = ".i 2\n.o 2\n11 1~\n.e\n";
+        let pla: Pla = text.parse().unwrap();
+        assert_eq!(pla.output_fn(0).on_set().len(), 1);
+        assert!(pla.output_fn(1).is_zero());
+    }
+}

@@ -1,0 +1,50 @@
+//! Robustness tests of the PLA parser: arbitrary input must parse or
+//! return a structured error, never panic, and valid inputs must
+//! round-trip.
+
+use proptest::prelude::*;
+use spp_boolfn::Pla;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII soup never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(text in "[ -~\n]{0,300}") {
+        let _ = text.parse::<Pla>();
+    }
+
+    /// Structured junk built from PLA-ish tokens never panics either.
+    #[test]
+    fn pla_shaped_junk_never_panics(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just(".i 3".to_owned()),
+                Just(".o 2".to_owned()),
+                Just(".p 1".to_owned()),
+                Just(".e".to_owned()),
+                Just(".type fd".to_owned()),
+                Just(".ilb a b c".to_owned()),
+                "[01\\-]{1,6} [01\\-~]{1,4}",
+                "\\.[a-z]{1,8}",
+                "[a-z0-9 ]{0,12}",
+            ],
+            0..12,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = text.parse::<Pla>();
+    }
+
+    /// Any PLA we can parse, we can re-emit and re-parse to the same
+    /// functions (when it is small enough to expand).
+    #[test]
+    fn parse_emit_parse_fixpoint(
+        terms in proptest::collection::vec("[01\\-]{4} [01]{2}", 1..8)
+    ) {
+        let text = format!(".i 4\n.o 2\n{}\n.e\n", terms.join("\n"));
+        let pla: Pla = text.parse().expect("well-formed by construction");
+        let again: Pla = pla.to_pla_string().parse().expect("emitted PLA parses");
+        prop_assert_eq!(pla.output_fns(), again.output_fns());
+    }
+}

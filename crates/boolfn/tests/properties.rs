@@ -1,0 +1,116 @@
+//! Property-based tests of cubes, functions and the PLA format.
+
+use proptest::prelude::*;
+use spp_boolfn::{all_points, BoolFn, Cube, Pla};
+use spp_gf2::Gf2Vec;
+
+fn cube_strategy(n: usize) -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(prop_oneof![Just('0'), Just('1'), Just('-')], n)
+        .prop_map(|cs| cs.into_iter().collect::<String>().parse().expect("valid cube"))
+}
+
+fn fn_strategy() -> impl Strategy<Value = BoolFn> {
+    (2usize..=5).prop_flat_map(|n| {
+        proptest::collection::vec(any::<bool>(), 1 << n)
+            .prop_map(move |bits| BoolFn::from_truth_fn(n, |x| bits[x as usize]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cube_parse_display_roundtrip(cube in cube_strategy(6)) {
+        let again: Cube = cube.to_string().parse().expect("display is parseable");
+        prop_assert_eq!(cube, again);
+    }
+
+    #[test]
+    fn cube_points_match_membership(cube in cube_strategy(5)) {
+        let pts: std::collections::HashSet<Gf2Vec> = cube.points().collect();
+        prop_assert_eq!(pts.len() as u64, 1 << cube.degree());
+        for p in all_points(5) {
+            prop_assert_eq!(cube.contains_point(&p), pts.contains(&p));
+        }
+    }
+
+    #[test]
+    fn cube_merge_is_exact_union(a in cube_strategy(5), b in cube_strategy(5)) {
+        if let Some(m) = a.merge(&b) {
+            let mut union: Vec<Gf2Vec> = a.points().chain(b.points()).collect();
+            union.sort_unstable();
+            union.dedup();
+            let mut merged: Vec<Gf2Vec> = m.points().collect();
+            merged.sort_unstable();
+            prop_assert_eq!(merged, union);
+            prop_assert_eq!(m.literal_count() + 1, a.literal_count());
+        }
+    }
+
+    #[test]
+    fn containment_is_pointwise(a in cube_strategy(5), b in cube_strategy(5)) {
+        let contains = a.contains_cube(&b);
+        let pointwise = b.points().all(|p| a.contains_point(&p));
+        prop_assert_eq!(contains, pointwise);
+        let intersects = a.intersects(&b);
+        let pointwise_any = b.points().any(|p| a.contains_point(&p));
+        prop_assert_eq!(intersects, pointwise_any);
+    }
+
+    #[test]
+    fn complement_involution(f in fn_strategy()) {
+        prop_assert_eq!(f.complement().complement(), f.clone());
+        // Complement flips exactly the fully-specified points.
+        let g = f.complement();
+        for p in all_points(f.num_vars()) {
+            prop_assert_ne!(f.is_on(&p), g.is_on(&p));
+        }
+    }
+
+    #[test]
+    fn support_projection_is_faithful(f in fn_strategy()) {
+        let (g, vars) = f.project_to_support();
+        prop_assert_eq!(g.support().len(), g.num_vars()); // g has full support
+        for p in all_points(f.num_vars()) {
+            let mut q = Gf2Vec::zeros(vars.len());
+            for (j, &v) in vars.iter().enumerate() {
+                q.set(j, p.get(v));
+            }
+            prop_assert_eq!(f.is_on(&p), g.is_on(&q));
+        }
+    }
+
+    #[test]
+    fn pla_roundtrip_preserves_all_outputs(f in fn_strategy(), g in fn_strategy()) {
+        prop_assume!(f.num_vars() == g.num_vars());
+        let n = f.num_vars();
+        let mut pla = Pla::new(n, 2);
+        for p in f.on_set() {
+            pla.push_term(Cube::from_point(*p), "10");
+        }
+        for p in g.on_set() {
+            pla.push_term(Cube::from_point(*p), "01");
+        }
+        let text = pla.to_pla_string();
+        let parsed: Pla = text.parse().expect("emitted PLA parses");
+        prop_assert_eq!(parsed.output_fn(0), f);
+        prop_assert_eq!(parsed.output_fn(1), g);
+    }
+
+    #[test]
+    fn de_morgan(f in fn_strategy(), g in fn_strategy()) {
+        prop_assume!(f.num_vars() == g.num_vars());
+        let lhs = f.and(&g).complement();
+        let rhs = f.complement().or(&g.complement());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_is_ne(f in fn_strategy(), g in fn_strategy()) {
+        prop_assume!(f.num_vars() == g.num_vars());
+        let x = f.xor(&g);
+        for p in all_points(f.num_vars()) {
+            prop_assert_eq!(x.is_on(&p), f.is_on(&p) != g.is_on(&p));
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Canonical expressions (CEX) of pseudoproducts: Definition 1, `NORM_EXOR`
+//! and the literal-level union Algorithm 1 of the paper.
+
+use std::error::Error;
+use std::fmt;
+
+use spp_gf2::{EchelonBasis, Gf2Vec};
+
+use crate::Pseudocube;
+
+/// An EXOR factor: the exclusive-or of a set of variables, possibly
+/// complemented (`x̄ ⊕ y = x ⊕ ȳ = complement of (x ⊕ y)`, so a single
+/// complementation flag normalizes any mix of complemented literals —
+/// footnote 1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use spp_core::ExorFactor;
+/// use spp_gf2::Gf2Vec;
+///
+/// // (x0 ⊕ x2 ⊕ x̄5): variables {0,2,5}, one complementation.
+/// let f = ExorFactor::new(Gf2Vec::from_index_bits(6, &[0, 2, 5]), true);
+/// assert!(f.eval(&Gf2Vec::from_index_bits(6, &[0, 2])));  // 1⊕1⊕ ̄0 = 1
+/// assert!(!f.eval(&Gf2Vec::from_index_bits(6, &[0])));    // 1⊕0⊕ ̄0 = 0
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExorFactor {
+    vars: Gf2Vec,
+    negate: bool,
+}
+
+impl ExorFactor {
+    /// Creates a factor from its variable set and complementation flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is the zero vector (a factor must contain at least
+    /// one variable).
+    #[must_use]
+    pub fn new(vars: Gf2Vec, negate: bool) -> Self {
+        assert!(!vars.is_zero(), "an EXOR factor must contain at least one variable");
+        ExorFactor { vars, negate }
+    }
+
+    /// The set of variables in the factor.
+    #[must_use]
+    pub fn vars(&self) -> Gf2Vec {
+        self.vars
+    }
+
+    /// Whether the factor is complemented.
+    #[must_use]
+    pub fn is_complemented(&self) -> bool {
+        self.negate
+    }
+
+    /// The number of literals (variables) in the factor.
+    #[must_use]
+    pub fn literal_count(&self) -> u32 {
+        self.vars.count_ones()
+    }
+
+    /// Evaluates the factor at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.vars().len()`.
+    #[must_use]
+    pub fn eval(&self, point: &Gf2Vec) -> bool {
+        ((*point & self.vars).count_ones() % 2 == 1) ^ self.negate
+    }
+
+    /// The paper's `NORM_EXOR`: the normalized exclusive-or of two factors
+    /// (`x ⊕ x = 0`, `0 ⊕ x = x`, complementations folded into one flag).
+    ///
+    /// Returns `None` when every variable cancels (the result would be a
+    /// constant, not a factor).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spp_core::ExorFactor;
+    /// use spp_gf2::Gf2Vec;
+    ///
+    /// // Paper §3.1: (x0⊕x2⊕x5) ⊕ (x0⊕x̄1) = x1⊕x2⊕x̄5 (one complement).
+    /// let f1 = ExorFactor::new(Gf2Vec::from_index_bits(6, &[0, 2, 5]), false);
+    /// let f2 = ExorFactor::new(Gf2Vec::from_index_bits(6, &[0, 1]), true);
+    /// let x = f1.norm_exor(&f2).unwrap();
+    /// assert_eq!(x.vars(), Gf2Vec::from_index_bits(6, &[1, 2, 5]));
+    /// assert!(x.is_complemented());
+    /// ```
+    #[must_use]
+    pub fn norm_exor(&self, other: &ExorFactor) -> Option<ExorFactor> {
+        let vars = self.vars ^ other.vars;
+        if vars.is_zero() {
+            return None;
+        }
+        Some(ExorFactor { vars, negate: self.negate ^ other.negate })
+    }
+
+    fn fmt_with(&self, f: &mut fmt::Formatter<'_>, show_complement: bool) -> fmt::Result {
+        let count = self.literal_count();
+        if count > 1 {
+            write!(f, "(")?;
+        }
+        let last = self.vars.highest_set_bit().expect("factor is non-empty");
+        for (i, v) in self.vars.iter_ones().enumerate() {
+            if i > 0 {
+                write!(f, "⊕")?;
+            }
+            // By Definition 1 the complementation always sits on the
+            // non-canonical variable, which has the highest index.
+            if v == last && self.negate && show_complement {
+                write!(f, "x̄{v}")?;
+            } else {
+                write!(f, "x{v}")?;
+            }
+        }
+        if count > 1 {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ExorFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_with(f, true)
+    }
+}
+
+impl fmt::Debug for ExorFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExorFactor({self})")
+    }
+}
+
+/// The product of EXOR factors is the constant 0 (contradictory
+/// constraints), so it characterizes no pseudocube.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmptyPseudoproductError;
+
+impl fmt::Display for EmptyPseudoproductError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "the product of EXOR factors is unsatisfiable")
+    }
+}
+
+impl Error for EmptyPseudoproductError {}
+
+/// A canonical expression `CEX(P)` (Definition 1): the product of one EXOR
+/// factor per non-canonical variable, each factor containing its
+/// non-canonical variable (highest index, carrying the complementation)
+/// and canonical variables of smaller index.
+///
+/// `Cex` is the literal-level view of a [`Pseudocube`]; the two convert
+/// back and forth losslessly. A `Cex` built by hand via [`Cex::new`] may be
+/// an arbitrary product of EXOR factors — [`Cex::to_pseudocube`] normalizes
+/// it (footnote 2 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use spp_core::{Cex, Pseudocube};
+/// use spp_gf2::Gf2Vec;
+///
+/// let a = Pseudocube::from_point(Gf2Vec::from_bit_str("01").unwrap());
+/// let cex = a.cex();
+/// assert_eq!(cex.to_string(), "x̄0·x1");
+/// assert_eq!(cex.to_pseudocube().unwrap(), a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cex {
+    n: usize,
+    factors: Vec<ExorFactor>,
+}
+
+impl Cex {
+    /// Builds an expression from arbitrary EXOR factors (not necessarily in
+    /// canonical form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some factor is not over `n` variables.
+    #[must_use]
+    pub fn new(n: usize, factors: Vec<ExorFactor>) -> Self {
+        assert!(factors.iter().all(|f| f.vars.len() == n), "factor width must equal n");
+        Cex { n, factors }
+    }
+
+    /// Derives the canonical expression of a pseudocube (Definition 1).
+    #[must_use]
+    pub fn from_pseudocube(pc: &Pseudocube) -> Self {
+        let n = pc.num_vars();
+        let dirs = pc.structure();
+        let rep = pc.rep();
+        let mut factors = Vec::with_capacity(n - pc.degree());
+        for q in 0..n {
+            if dirs.is_pivot(q) {
+                continue;
+            }
+            let mut vars = Gf2Vec::from_index_bits(n, &[q]);
+            for (j, row) in dirs.rows().iter().enumerate() {
+                if row.get(q) {
+                    vars.set(dirs.pivots()[j] as usize, true);
+                }
+            }
+            factors.push(ExorFactor { vars, negate: !rep.get(q) });
+        }
+        Cex { n, factors }
+    }
+
+    /// The number of variables of the ambient space.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The factors, ordered by non-canonical variable for canonical
+    /// expressions.
+    #[must_use]
+    pub fn factors(&self) -> &[ExorFactor] {
+        &self.factors
+    }
+
+    /// The number of literals — the cost function of SPP minimization.
+    #[must_use]
+    pub fn literal_count(&self) -> u64 {
+        self.factors.iter().map(|f| u64::from(f.literal_count())).sum()
+    }
+
+    /// Evaluates the pseudoproduct: 1 iff every factor is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.num_vars()`.
+    #[must_use]
+    pub fn eval(&self, point: &Gf2Vec) -> bool {
+        self.factors.iter().all(|f| f.eval(point))
+    }
+
+    /// The structure `STR` of the expression: the factor variable sets with
+    /// complementations erased (Definition 2).
+    #[must_use]
+    pub fn structure(&self) -> Vec<Gf2Vec> {
+        self.factors.iter().map(|f| f.vars).collect()
+    }
+
+    /// The paper's **Algorithm 1 (Union)** at the literal level: builds
+    /// `CEX(P1 ∪ P2)` from `CEX(P1)` and `CEX(P2)` when the two structures
+    /// are equal and the expressions differ (Theorem 1); returns `None`
+    /// otherwise.
+    ///
+    /// `α` is the set of non-canonical variables whose complementation
+    /// differs; the factor of the smallest one (`x_{i_k}`) disappears, the
+    /// other differing factors become `NORM_EXOR(f_j², f_k¹)`, and the
+    /// agreeing factors carry over unchanged.
+    ///
+    /// This function and the affine-subspace union
+    /// [`Pseudocube::union`] compute the same canonical expression.
+    #[must_use]
+    pub fn union(&self, other: &Cex) -> Option<Cex> {
+        if self.n != other.n
+            || self.factors.len() != other.factors.len()
+            || self.structure() != other.structure()
+        {
+            return None;
+        }
+        let alpha: Vec<usize> = (0..self.factors.len())
+            .filter(|&j| self.factors[j].negate != other.factors[j].negate)
+            .collect();
+        let &k = alpha.first()?; // empty α means identical pseudocubes
+        let fk1 = self.factors[k];
+        let mut factors = Vec::with_capacity(self.factors.len() - 1);
+        for (j, fj2) in other.factors.iter().enumerate() {
+            if j == k {
+                continue;
+            }
+            if alpha.contains(&j) {
+                factors.push(
+                    fj2.norm_exor(&fk1)
+                        .expect("factors of distinct non-canonical variables never cancel"),
+                );
+            } else {
+                factors.push(*fj2);
+            }
+        }
+        Some(Cex { n: self.n, factors })
+    }
+
+    /// Solves the product of EXOR factors as an affine system over GF(2)
+    /// and returns the pseudocube it characterizes (normalizing arbitrary
+    /// expressions into canonical form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyPseudoproductError`] when the factors are
+    /// contradictory (e.g. `x0 · x̄0`), i.e. the product is constant 0.
+    pub fn to_pseudocube(&self) -> Result<Pseudocube, EmptyPseudoproductError> {
+        // Gaussian elimination on rows (vars | rhs), rhs = 1 ⊕ negate.
+        let mut rows: Vec<(Gf2Vec, bool)> = Vec::new();
+        for f in &self.factors {
+            let mut v = f.vars;
+            let mut b = !f.negate;
+            for (rv, rb) in &rows {
+                if let Some(p) = rv.lowest_set_bit() {
+                    if v.get(p) {
+                        v ^= *rv;
+                        b ^= rb;
+                    }
+                }
+            }
+            match v.lowest_set_bit() {
+                None => {
+                    if b {
+                        return Err(EmptyPseudoproductError);
+                    }
+                }
+                Some(p) => {
+                    for (rv, rb) in rows.iter_mut() {
+                        if rv.get(p) {
+                            *rv ^= v;
+                            *rb ^= b;
+                        }
+                    }
+                    rows.push((v, b));
+                }
+            }
+        }
+        // One solution: free variables 0, each pivot forced to its rhs
+        // (after full reduction every row holds its pivot + free vars only).
+        let mut rep = Gf2Vec::zeros(self.n);
+        for (rv, rb) in &rows {
+            let p = rv.lowest_set_bit().expect("pivot rows are nonzero");
+            rep.set(p, *rb);
+        }
+        // Null space: one basis vector per free variable.
+        let mut dirs = EchelonBasis::new(self.n);
+        let pivots: Vec<usize> =
+            rows.iter().map(|(rv, _)| rv.lowest_set_bit().expect("nonzero")).collect();
+        for fv in 0..self.n {
+            if pivots.contains(&fv) {
+                continue;
+            }
+            let mut w = Gf2Vec::from_index_bits(self.n, &[fv]);
+            for ((rv, _), &p) in rows.iter().zip(&pivots) {
+                if rv.get(fv) {
+                    w.set(p, true);
+                }
+            }
+            dirs.insert(w);
+        }
+        Ok(Pseudocube::from_parts(rep, dirs))
+    }
+}
+
+impl fmt::Display for Cex {
+    /// Paper notation, e.g. `x1·(x0⊕x2⊕x̄3)·(x0⊕x4⊕x5)`; the empty product
+    /// (the whole space) prints as `1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, factor) in self.factors.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            factor.fmt_with(f, true)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cex({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Gf2Vec {
+        Gf2Vec::from_bit_str(s).unwrap()
+    }
+
+    fn fac(n: usize, vars: &[usize], negate: bool) -> ExorFactor {
+        ExorFactor::new(Gf2Vec::from_index_bits(n, vars), negate)
+    }
+
+    /// CEX of expression (1) of the paper:
+    /// (x0⊕x̄1)·x4·(x0⊕x2⊕x̄5)·(x3⊕x6)·(x3⊕x8) in B^9.
+    fn paper_expr1() -> Cex {
+        Cex::new(
+            9,
+            vec![
+                fac(9, &[0, 1], true),
+                fac(9, &[4], false),
+                fac(9, &[0, 2, 5], true),
+                fac(9, &[3, 6], false),
+                fac(9, &[3, 8], false),
+            ],
+        )
+    }
+
+    /// CEX of expression (2): (x0⊕x1)·x̄4·(x0⊕x2⊕x5)·(x3⊕x6)·(x3⊕x̄8).
+    fn paper_expr2() -> Cex {
+        Cex::new(
+            9,
+            vec![
+                fac(9, &[0, 1], false),
+                fac(9, &[4], true),
+                fac(9, &[0, 2, 5], false),
+                fac(9, &[3, 6], false),
+                fac(9, &[3, 8], true),
+            ],
+        )
+    }
+
+    #[test]
+    fn factor_eval_and_negate() {
+        let f = fac(3, &[0, 2], false); // x0 ⊕ x2
+        assert!(f.eval(&v("100")));
+        assert!(!f.eval(&v("101")));
+        let g = fac(3, &[0, 2], true); // complemented
+        assert!(g.eval(&v("101")));
+    }
+
+    #[test]
+    fn norm_exor_paper_example() {
+        // (x0⊕x2⊕x5) ⊕ (x0⊕x̄1) = (x1⊕x2⊕x̄5)
+        let f1 = fac(6, &[0, 2, 5], false);
+        let f2 = fac(6, &[0, 1], true);
+        let x = f1.norm_exor(&f2).unwrap();
+        assert_eq!(x.vars(), Gf2Vec::from_index_bits(6, &[1, 2, 5]));
+        assert!(x.is_complemented());
+        assert_eq!(x.to_string(), "(x1⊕x2⊕x̄5)");
+        // Cancelling everything yields no factor.
+        assert!(f1.norm_exor(&f1).is_none());
+    }
+
+    #[test]
+    fn figure1_cex_matches_paper() {
+        // CEX = x1 · (x0⊕x2⊕x3) · (x0⊕x4⊕x5)
+        let points: Vec<Gf2Vec> =
+            ["010101", "010110", "011001", "011010", "110000", "110011", "111100", "111111"]
+                .iter()
+                .map(|s| v(s))
+                .collect();
+        let pc = Pseudocube::from_points(&points).unwrap();
+        let cex = pc.cex();
+        assert_eq!(cex.to_string(), "x1·(x0⊕x2⊕x3)·(x0⊕x4⊕x5)");
+        assert_eq!(cex.literal_count(), 7);
+        // The expression is the characteristic function of the point set.
+        for p in spp_boolfn::all_points(6) {
+            assert_eq!(cex.eval(&p), pc.contains(&p));
+        }
+    }
+
+    #[test]
+    fn paper_expressions_have_equal_structure() {
+        let c1 = paper_expr1();
+        let c2 = paper_expr2();
+        assert_eq!(c1.structure(), c2.structure());
+        assert_eq!(c1.literal_count(), 10);
+        assert_eq!(c2.literal_count(), 10);
+    }
+
+    #[test]
+    fn algorithm1_union_matches_paper_worked_example() {
+        // Union of (1) and (2) per §3.1:
+        // (x0⊕x1⊕x4)·(x1⊕x2⊕x̄5)·(x3⊕x6)·(x0⊕x1⊕x3⊕x8), 12 literals.
+        let u = paper_expr1().union(&paper_expr2()).unwrap();
+        assert_eq!(u.literal_count(), 12);
+        assert_eq!(
+            u.to_string(),
+            "(x0⊕x1⊕x4)·(x1⊕x2⊕x̄5)·(x3⊕x6)·(x0⊕x1⊕x3⊕x8)"
+        );
+    }
+
+    #[test]
+    fn algorithm1_agrees_with_affine_union() {
+        let p1 = paper_expr1().to_pseudocube().unwrap();
+        let p2 = paper_expr2().to_pseudocube().unwrap();
+        let affine = p1.union(&p2).unwrap();
+        let literal = paper_expr1().union(&paper_expr2()).unwrap();
+        assert_eq!(literal.to_pseudocube().unwrap(), affine);
+        // And the canonical expressions coincide factor by factor.
+        assert_eq!(affine.cex(), literal);
+    }
+
+    #[test]
+    fn union_rejects_structure_mismatch_and_identity() {
+        let c1 = paper_expr1();
+        assert!(c1.union(&c1).is_none()); // α empty
+        let other = Cex::new(9, vec![fac(9, &[0], false)]);
+        assert!(c1.union(&other).is_none());
+    }
+
+    #[test]
+    fn to_pseudocube_roundtrips_canonical_expressions() {
+        let p1 = paper_expr1().to_pseudocube().unwrap();
+        assert_eq!(p1.degree(), 4); // 9 vars − 5 factors
+        assert_eq!(p1.cex().to_pseudocube().unwrap(), p1);
+        // Expression (1) has canonical variables x0, x2, x3, x7 (paper).
+        assert_eq!(p1.canonical_vars(), &[0, 2, 3, 7]);
+    }
+
+    #[test]
+    fn to_pseudocube_detects_contradiction() {
+        let contradictory = Cex::new(2, vec![fac(2, &[0], false), fac(2, &[0], true)]);
+        assert_eq!(contradictory.to_pseudocube(), Err(EmptyPseudoproductError));
+        assert!(EmptyPseudoproductError.to_string().contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn to_pseudocube_normalizes_redundant_factors() {
+        // x0 · x0 · (x0⊕x1): the repeated factor is dropped and the system
+        // forces x0 = 1, x1 = 0 — the single point "10".
+        let c = Cex::new(2, vec![fac(2, &[0], false), fac(2, &[0], false), fac(2, &[0, 1], false)]);
+        let pc = c.to_pseudocube().unwrap();
+        assert_eq!(pc.degree(), 0);
+        assert!(pc.contains(&v("10")));
+        assert!(!pc.contains(&v("01")));
+        assert!(!pc.contains(&v("11")));
+    }
+
+    #[test]
+    fn empty_product_is_whole_space() {
+        let c = Cex::new(3, vec![]);
+        assert_eq!(c.to_string(), "1");
+        let pc = c.to_pseudocube().unwrap();
+        assert_eq!(pc.degree(), 3);
+    }
+
+    #[test]
+    fn eval_agrees_with_pseudocube_membership() {
+        let c = paper_expr1();
+        let pc = c.to_pseudocube().unwrap();
+        // Sample the space: 2^9 = 512 points is fine to enumerate.
+        for p in spp_boolfn::all_points(9) {
+            assert_eq!(c.eval(&p), pc.contains(&p));
+        }
+    }
+
+    #[test]
+    fn display_single_literal_factors_without_parens() {
+        let c = Cex::new(3, vec![fac(3, &[1], true), fac(3, &[0, 2], false)]);
+        assert_eq!(c.to_string(), "x̄1·(x0⊕x2)");
+    }
+}

@@ -1,0 +1,492 @@
+//! Generation of the extended prime pseudoproduct (EPPP) set — step 1–2 of
+//! Algorithm 2, with three interchangeable grouping strategies.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use spp_boolfn::BoolFn;
+use spp_gf2::EchelonBasis;
+
+use crate::{PartitionTrie, Pseudocube};
+
+/// How same-structure pseudocubes are grouped before pairwise union.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Grouping {
+    /// The paper's partition trie (§3.2) — Algorithm 2.
+    #[default]
+    PartitionTrie,
+    /// A hash map keyed by the structure's normal form: same asymptotic
+    /// behaviour as the trie; kept as an ablation of the data structure.
+    HashMap,
+    /// No grouping: all `|X|(|X|−1)/2` pairs are compared for structure
+    /// equality, as in the earlier algorithm of Luccio–Pagli [5]. This is
+    /// the baseline of Table 2.
+    Quadratic,
+}
+
+/// Per-degree statistics of a generation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelStats {
+    /// The degree `k` of the pseudocubes at this step.
+    pub degree: usize,
+    /// `|X^k|`: pseudocubes present at this degree.
+    pub size: usize,
+    /// Number of structure groups (`k` of the paper's `Σ|X_i|²/2`).
+    pub groups: usize,
+    /// Structure comparisons / unifiable pairs examined at this step.
+    pub comparisons: u64,
+    /// Pseudocubes of this degree retained as EPPP candidates.
+    pub retained: usize,
+}
+
+/// Aggregate statistics of a generation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// One entry per degree processed, in increasing degree order.
+    pub levels: Vec<LevelStats>,
+    /// Total pseudocubes ever generated (all degrees).
+    pub total_generated: usize,
+    /// Total pairwise comparisons across all steps.
+    pub comparisons: u64,
+    /// Whether a resource limit stopped generation early (the EPPP set is
+    /// then still a valid covering candidate set, but minimality claims
+    /// become upper bounds).
+    pub truncated: bool,
+}
+
+impl std::fmt::Display for GenStats {
+    /// A per-degree table of the run, in the layout of the paper's
+    /// comparison-count discussion (§3.3):
+    ///
+    /// ```text
+    /// deg     |X^k|  groups  comparisons  retained
+    ///   0       128       1         8128         0
+    ///   1      8128     253       143904         0
+    ///   ...
+    /// ```
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:>4} {:>9} {:>8} {:>12} {:>9}", "deg", "|X^k|", "groups", "comparisons", "retained")?;
+        for l in &self.levels {
+            writeln!(
+                f,
+                "{:>4} {:>9} {:>8} {:>12} {:>9}",
+                l.degree, l.size, l.groups, l.comparisons, l.retained
+            )?;
+        }
+        write!(
+            f,
+            "total generated {}, comparisons {}{}",
+            self.total_generated,
+            self.comparisons,
+            if self.truncated { " (truncated)" } else { "" }
+        )
+    }
+}
+
+/// Resource budget for EPPP generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenLimits {
+    /// Stop once this many pseudocubes have been generated in total.
+    pub max_pseudocubes: usize,
+    /// Stop when a single degree level exceeds this size.
+    pub max_level_size: usize,
+    /// Wall-clock budget, if any.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for GenLimits {
+    /// Generous defaults sized to the paper's largest reported EPPP sets
+    /// (~500 000 pseudoproducts).
+    fn default() -> Self {
+        GenLimits { max_pseudocubes: 600_000, max_level_size: 400_000, time_limit: None }
+    }
+}
+
+/// The extended prime pseudoproducts of a function, plus how they were
+/// obtained.
+#[derive(Clone, Debug)]
+pub struct EpppSet {
+    /// The ambient variable count.
+    pub num_vars: usize,
+    /// The EPPP candidates (Definition 3, operational form: a pseudocube is
+    /// dropped only when some one-step union covers it with no more
+    /// literals).
+    pub pseudocubes: Vec<Pseudocube>,
+    /// Generation statistics.
+    pub stats: GenStats,
+}
+
+/// Generates the EPPP set of `f` (ON-set plus don't-cares) by successive
+/// unions of same-structure pseudocubes, starting from single points
+/// (Algorithm 2 steps 1–2 for [`Grouping::PartitionTrie`]; the [5] baseline
+/// for [`Grouping::Quadratic`]).
+///
+/// A pseudocube with `h` literals is discarded when it is combined into a
+/// one-degree-larger pseudocube with at most `h` literals; everything else
+/// is retained. The retained set always covers the ON-set (every minterm
+/// enters at degree 0 and is only discarded in favour of a superset), so a
+/// valid cover exists even when `limits` truncate the run.
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_core::{generate_eppp, GenLimits, Grouping};
+///
+/// // x2·(x1 ⊕ x4) — the paper's §3.4 example, renamed to 3 variables.
+/// let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+/// let eppp = generate_eppp(&f, Grouping::PartitionTrie, &GenLimits::default());
+/// // Best candidate: the single pseudoproduct with 3 literals.
+/// assert!(eppp.pseudocubes.iter().any(|p| p.literal_count() == 3));
+/// ```
+#[must_use]
+pub fn generate_eppp(f: &BoolFn, grouping: Grouping, limits: &GenLimits) -> EpppSet {
+    generate_eppp_where(f, grouping, limits, &|_| true)
+}
+
+/// [`generate_eppp`] restricted to a *conforming* family of pseudoproducts
+/// (e.g. bounded factor width for `k`-SPP synthesis).
+///
+/// Non-conforming pseudocubes are still traversed — their unions may lead
+/// back into the family — but they are never retained as candidates, and
+/// the literal-based discard rule only lets a **conforming** union discard
+/// its halves (otherwise a conforming pseudocube could vanish in favour of
+/// a union the family cannot use).
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_core::{factor_width_at_most, generate_eppp_where, GenLimits, Grouping};
+///
+/// let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+/// let eppp = generate_eppp_where(
+///     &f,
+///     Grouping::PartitionTrie,
+///     &GenLimits::default(),
+///     &|pc| factor_width_at_most(pc, 2),
+/// );
+/// assert!(eppp.pseudocubes.iter().all(|pc| factor_width_at_most(pc, 2)));
+/// ```
+#[must_use]
+pub fn generate_eppp_where(
+    f: &BoolFn,
+    grouping: Grouping,
+    limits: &GenLimits,
+    conforming: &dyn Fn(&Pseudocube) -> bool,
+) -> EpppSet {
+    let n = f.num_vars();
+    let deadline = limits.time_limit.map(|d| Instant::now() + d);
+    let mut level: Vec<Pseudocube> = f
+        .on_set()
+        .iter()
+        .chain(f.dc_set().iter())
+        .map(|&p| Pseudocube::from_point(p))
+        .collect();
+    level.sort_unstable();
+
+    let mut retained: Vec<Pseudocube> = Vec::new();
+    let mut stats = GenStats { total_generated: level.len(), ..GenStats::default() };
+    let mut degree = 0usize;
+
+    while !level.is_empty() {
+        let over_budget = stats.truncated
+            || stats.total_generated > limits.max_pseudocubes
+            || level.len() > limits.max_level_size
+            || deadline.is_some_and(|d| Instant::now() >= d);
+        if over_budget {
+            // Keep the whole (conforming part of the) level: every
+            // pseudocube discarded earlier has a (transitive) retained
+            // substitute with no more literals.
+            stats.truncated = true;
+            level.retain(|pc| conforming(pc));
+            stats.levels.push(LevelStats {
+                degree,
+                size: level.len(),
+                groups: 0,
+                comparisons: 0,
+                retained: level.len(),
+            });
+            retained.append(&mut level);
+            break;
+        }
+
+        let mut discarded = vec![false; level.len()];
+        let mut next: HashSet<Pseudocube> = HashSet::new();
+        let mut comparisons = 0u64;
+
+        // The pair loops can produce far more unions than the level held,
+        // so the budget is enforced inside them (sampling the clock
+        // sparsely).
+        let union_cap = limits
+            .max_level_size
+            .min(limits.max_pseudocubes.saturating_sub(stats.total_generated));
+        let mut ops = 0u64;
+        let over = |next_len: usize, ops: &mut u64| {
+            *ops += 1;
+            next_len > union_cap
+                || ((*ops).is_multiple_of(64) && deadline.is_some_and(|d| Instant::now() >= d))
+        };
+        let unite = |i: usize, j: usize, next: &mut HashSet<Pseudocube>, discarded: &mut [bool]| {
+            let u = level[i]
+                .union(&level[j])
+                .expect("same-structure distinct pseudocubes unite");
+            // Only a union the family can actually use may discard its
+            // halves; otherwise e.g. 2-SPP would lose conforming
+            // pseudocubes to wide ones.
+            if conforming(&u) {
+                let lit = u.literal_count();
+                if lit <= level[i].literal_count() {
+                    discarded[i] = true;
+                }
+                if lit <= level[j].literal_count() {
+                    discarded[j] = true;
+                }
+            }
+            next.insert(u);
+        };
+
+        let num_groups;
+        match grouping {
+            Grouping::Quadratic => {
+                // The [5] baseline: every pair of pseudocubes is compared
+                // for structure equality — |X|(|X|−1)/2 comparisons — and
+                // unifiable pairs are united.
+                num_groups = 0;
+                'pairs: for i in 0..level.len() {
+                    if over(next.len(), &mut ops) {
+                        stats.truncated = true;
+                        break 'pairs;
+                    }
+                    for j in (i + 1)..level.len() {
+                        comparisons += 1;
+                        if level[i].structure() == level[j].structure() {
+                            unite(i, j, &mut next, &mut discarded);
+                        }
+                    }
+                }
+            }
+            Grouping::PartitionTrie | Grouping::HashMap => {
+                let groups = group_indices(&level, grouping, &mut comparisons);
+                num_groups = groups.len();
+                'unions: for group in groups {
+                    for (a, &i) in group.iter().enumerate() {
+                        // A single structure group can hold thousands of
+                        // cosets (quadratically many unions).
+                        if over(next.len(), &mut ops) {
+                            stats.truncated = true;
+                            break 'unions;
+                        }
+                        for &j in &group[a + 1..] {
+                            unite(i as usize, j as usize, &mut next, &mut discarded);
+                        }
+                    }
+                }
+            }
+        }
+        // On truncation the discard flags may be based on a partial union
+        // sweep; that is fine (discarded items still have a retained
+        // substitute), but items never compared must be kept, which the
+        // flags already guarantee.
+        if stats.truncated {
+            // Keep everything at this level plus what was generated so far.
+            discarded.iter_mut().for_each(|d| *d = false);
+        }
+
+        let mut kept = 0usize;
+        for (pc, dropped) in level.iter().zip(&discarded) {
+            if !dropped && conforming(pc) {
+                retained.push(pc.clone());
+                kept += 1;
+            }
+        }
+        stats.levels.push(LevelStats {
+            degree,
+            size: level.len(),
+            groups: num_groups,
+            comparisons,
+            retained: kept,
+        });
+        stats.comparisons += comparisons;
+
+        level = next.into_iter().collect();
+        level.sort_unstable();
+        stats.total_generated += level.len();
+        degree += 1;
+    }
+
+    EpppSet { num_vars: n, pseudocubes: retained, stats }
+}
+
+/// Groups level indices by structure according to the chosen strategy,
+/// also accounting the number of *comparisons* the strategy performs:
+/// the quadratic baseline pays one structure comparison per pair of
+/// pseudocubes, while the trie/hash strategies only ever touch unifiable
+/// pairs (the paper's "minimum number of comparisons").
+fn group_indices(level: &[Pseudocube], grouping: Grouping, comparisons: &mut u64) -> Vec<Vec<u32>> {
+    match grouping {
+        Grouping::PartitionTrie => {
+            let n = level.first().map_or(0, Pseudocube::num_vars);
+            let mut trie = PartitionTrie::new(n);
+            for (i, pc) in level.iter().enumerate() {
+                trie.insert(pc, i as u32);
+            }
+            let groups: Vec<Vec<u32>> = trie
+                .groups()
+                .map(|leaves| leaves.iter().map(|l| l.payload).collect())
+                .collect();
+            for g in &groups {
+                *comparisons += pairs(g.len());
+            }
+            groups
+        }
+        Grouping::HashMap => {
+            let mut map: std::collections::HashMap<&EchelonBasis, Vec<u32>> =
+                std::collections::HashMap::new();
+            for (i, pc) in level.iter().enumerate() {
+                map.entry(pc.structure()).or_default().push(i as u32);
+            }
+            let groups: Vec<Vec<u32>> = map.into_values().collect();
+            for g in &groups {
+                *comparisons += pairs(g.len());
+            }
+            groups
+        }
+        Grouping::Quadratic => {
+            unreachable!("the quadratic baseline runs its own all-pairs loop")
+        }
+    }
+}
+
+fn pairs(len: usize) -> u64 {
+    (len as u64) * (len as u64).saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn eppp_of(f: &BoolFn, g: Grouping) -> EpppSet {
+        generate_eppp(f, g, &GenLimits::default())
+    }
+
+    #[test]
+    fn paper_intro_example_finds_the_exor_form() {
+        // x1x2x̄4 + x̄1x2x4 (renamed): the ascent finds x2·(x1⊕x4).
+        let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+        let eppp = eppp_of(&f, Grouping::PartitionTrie);
+        let best = eppp.pseudocubes.iter().map(Pseudocube::literal_count).min().unwrap();
+        assert_eq!(best, 3);
+        // The two minterms were discarded: 3 ≤ their 3 literals... each
+        // minterm has 3 literals and the union also has 3 → discarded.
+        assert!(eppp
+            .pseudocubes
+            .iter()
+            .all(|p| p.degree() > 0 || p.literal_count() < 3));
+    }
+
+    #[test]
+    fn all_groupings_agree_on_the_retained_set() {
+        let f = BoolFn::from_indices(4, &[0, 3, 5, 6, 9, 10, 12, 15]); // even parity
+        let trie: HashSet<_> =
+            eppp_of(&f, Grouping::PartitionTrie).pseudocubes.into_iter().collect();
+        let hash: HashSet<_> = eppp_of(&f, Grouping::HashMap).pseudocubes.into_iter().collect();
+        let quad: HashSet<_> = eppp_of(&f, Grouping::Quadratic).pseudocubes.into_iter().collect();
+        assert_eq!(trie, hash);
+        assert_eq!(trie, quad);
+    }
+
+    #[test]
+    fn parity_collapses_to_single_pseudocube() {
+        // Odd parity on 4 variables is one affine subspace: x0⊕x1⊕x2⊕x3 = 1.
+        let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+        let eppp = eppp_of(&f, Grouping::PartitionTrie);
+        let best = eppp.pseudocubes.iter().min_by_key(|p| p.literal_count()).unwrap();
+        assert_eq!(best.degree(), 3);
+        assert_eq!(best.literal_count(), 4); // the single factor (x0⊕x1⊕x2⊕x3)
+        // It is the only EPPP: everything below it is discarded.
+        assert_eq!(eppp.pseudocubes.len(), 1);
+    }
+
+    #[test]
+    fn comparison_counts_favor_grouping() {
+        let f = BoolFn::from_indices(4, &[0, 1, 2, 4, 7, 8, 11, 13, 14]);
+        let trie = eppp_of(&f, Grouping::PartitionTrie);
+        let quad = eppp_of(&f, Grouping::Quadratic);
+        // Same sets generated...
+        assert_eq!(trie.stats.total_generated, quad.stats.total_generated);
+        // ...but the trie performs no wasted comparisons: each one is a
+        // union actually built (paper §3.3).
+        assert!(trie.stats.comparisons < quad.stats.comparisons);
+    }
+
+    #[test]
+    fn every_on_point_is_covered_by_the_retained_set() {
+        let f = BoolFn::from_indices(5, &[0, 1, 4, 9, 16, 21, 27, 30, 31]);
+        let eppp = eppp_of(&f, Grouping::PartitionTrie);
+        for pt in f.on_set() {
+            assert!(
+                eppp.pseudocubes.iter().any(|p| p.contains(pt)),
+                "point {pt} uncovered"
+            );
+        }
+        // And every retained pseudocube is an implicant of f.
+        for pc in &eppp.pseudocubes {
+            assert!(pc.points().all(|pt| f.is_coverable(&pt)), "{pc:?} not contained in f");
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_a_valid_candidate_set() {
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 != 0);
+        let limits = GenLimits { max_pseudocubes: 10, ..GenLimits::default() };
+        let eppp = generate_eppp(&f, Grouping::PartitionTrie, &limits);
+        assert!(eppp.stats.truncated);
+        for pt in f.on_set() {
+            assert!(eppp.pseudocubes.iter().any(|p| p.contains(pt)));
+        }
+    }
+
+    #[test]
+    fn stats_level_zero_counts_points() {
+        let f = BoolFn::from_indices(3, &[1, 2, 4, 7]);
+        let eppp = eppp_of(&f, Grouping::PartitionTrie);
+        assert_eq!(eppp.stats.levels[0].degree, 0);
+        assert_eq!(eppp.stats.levels[0].size, 4);
+        // Degree-0: all points share the empty structure → one group.
+        assert_eq!(eppp.stats.levels[0].groups, 1);
+        assert_eq!(eppp.stats.levels[0].comparisons, 6);
+    }
+
+    #[test]
+    fn stats_display_is_a_table() {
+        let f = BoolFn::from_indices(3, &[1, 2, 4, 7]);
+        let eppp = eppp_of(&f, Grouping::PartitionTrie);
+        let s = eppp.stats.to_string();
+        assert!(s.contains("deg"));
+        assert!(s.contains("total generated"));
+        assert!(!s.contains("truncated"));
+    }
+
+    #[test]
+    fn empty_function_generates_nothing() {
+        let f = BoolFn::from_indices(4, &[]);
+        let eppp = eppp_of(&f, Grouping::PartitionTrie);
+        assert!(eppp.pseudocubes.is_empty());
+        assert_eq!(eppp.stats.total_generated, 0);
+        assert!(!eppp.stats.truncated);
+    }
+
+    #[test]
+    fn dont_cares_participate_in_generation() {
+        use spp_gf2::Gf2Vec;
+        let p = |s: &str| Gf2Vec::from_bit_str(s).unwrap();
+        // ON = {00}, DC = {11}: together they form the pseudocube (x0⊕x̄1)
+        // — wait, {00, 11} is the affine line x0⊕x1 = 0, 2 literals.
+        let f = BoolFn::with_dont_cares(2, [p("00")], [p("11")]);
+        let eppp = eppp_of(&f, Grouping::PartitionTrie);
+        let best = eppp.pseudocubes.iter().map(Pseudocube::literal_count).min().unwrap();
+        assert_eq!(best, 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! The incremental heuristic (Algorithm 3): SPP_k forms.
+
+use std::collections::HashSet;
+
+use spp_boolfn::BoolFn;
+
+use crate::minimize::cover_with_candidates;
+use crate::{
+    sub_pseudocubes, GenStats, LevelStats, PartitionTrie, Pseudocube, SppMinResult, SppOptions,
+};
+
+/// Minimizes `f` with the paper's **Algorithm 3**, producing the `SPP_k`
+/// form: an upper bound on the minimal SPP form that tightens as the work
+/// parameter `k` grows (`k = n − 1` explores down to single points and, in
+/// the paper's words, "means that we are looking for the optimal SPP
+/// solution").
+///
+/// The four phases:
+///
+/// 1. seed one partition trie per degree with the **SP prime implicants**
+///    of `f` (much cheaper to obtain than prime pseudoproducts);
+/// 2. *descendant phase*: for `k` steps, replace walking degree `n−i`,
+///    insert every sub-pseudocube (Theorem 2) one degree down;
+/// 3. *ascendant phase*: from degree 0 upward, unite same-structure
+///    pseudocubes exactly as in Algorithm 2 step 2 (with the same
+///    literal-based discard rule);
+/// 4. solve the set-covering problem over everything retained.
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_core::{minimize_spp_heuristic, SppOptions};
+///
+/// // The §3.4 example: from primes x1x2x̄4 and x̄1x2x4 the ascendant phase
+/// // already finds x2·(x1⊕x4) at k = 0.
+/// let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+/// let r = minimize_spp_heuristic(&f, 0, &SppOptions::default());
+/// assert_eq!(r.literal_count(), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k >= f.num_vars()` (the paper requires `0 ≤ k < n`).
+#[must_use]
+pub fn minimize_spp_heuristic(f: &BoolFn, k: usize, options: &SppOptions) -> SppMinResult {
+    let primes = spp_sp::prime_implicants(f);
+    minimize_spp_heuristic_from_cover(f, &primes, k, options)
+}
+
+/// [`minimize_spp_heuristic`] seeded by an arbitrary cube cover of `f`
+/// instead of the full prime-implicant set — the paper's general form
+/// ("the input is an arbitrary cover of the given function F"). Useful
+/// when the prime set is too large to build: seed with an Espresso-style
+/// heuristic cover (see `spp_sp::minimize_sp_heuristic`).
+///
+/// # Panics
+///
+/// Panics if `k >= f.num_vars()`, if `cover` is not a cover of the ON-set
+/// or if some cube is not an implicant (covers OFF points).
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_core::{minimize_spp_heuristic_from_cover, SppOptions};
+/// use spp_sp::minimize_sp_heuristic;
+///
+/// let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+/// let seed = minimize_sp_heuristic(&f);
+/// let r = minimize_spp_heuristic_from_cover(
+///     &f, seed.form.cubes(), 0, &SppOptions::default());
+/// assert_eq!(r.literal_count(), 3); // x2·(x1⊕x4) found from the seed too
+/// ```
+#[must_use]
+pub fn minimize_spp_heuristic_from_cover(
+    f: &BoolFn,
+    cover: &[spp_boolfn::Cube],
+    k: usize,
+    options: &SppOptions,
+) -> SppMinResult {
+    let n = f.num_vars();
+    assert!(k < n.max(1), "heuristic parameter k={k} must satisfy 0 <= k < n");
+    let phase_start = std::time::Instant::now();
+    let deadline = options.gen_limits.time_limit.map(|d| phase_start + d);
+    let past_deadline = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
+
+    // The seed must be a cover of implicants, or the result could not
+    // realize f.
+    for point in f.on_set() {
+        assert!(
+            cover.iter().any(|c| c.contains_point(point)),
+            "seed cubes must cover the ON-set"
+        );
+    }
+    for cube in cover {
+        assert!(
+            cube.points().all(|p| f.is_coverable(&p)),
+            "seed cube {cube} is not an implicant"
+        );
+    }
+
+    // Phase 1: one level per degree, seeded with the input cover.
+    let mut levels: Vec<HashSet<Pseudocube>> = vec![HashSet::new(); n + 1];
+    for cube in cover {
+        let pc = Pseudocube::from_cube(cube);
+        let d = pc.degree();
+        levels[d].insert(pc);
+    }
+
+    // Phase 2: descendant — step i walks degree n−i and inserts all
+    // sub-pseudocubes one degree down, so later steps see them too.
+    let mut truncated = false;
+    let mut generated: usize = levels.iter().map(HashSet::len).sum();
+    'descent: for i in 1..=k {
+        let d = n - i; // step i walks degree n−i, inserting one degree down
+        let snapshot: Vec<Pseudocube> = sorted(&levels[d]);
+        for r in snapshot {
+            if past_deadline() {
+                truncated = true;
+                break 'descent;
+            }
+            for sub in sub_pseudocubes(&r) {
+                if levels[d - 1].insert(sub) {
+                    generated += 1;
+                    if generated > options.gen_limits.max_pseudocubes {
+                        truncated = true;
+                        break 'descent;
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: ascendant — Algorithm 2 step 2 from degree 0 upward.
+    let mut retained: Vec<Pseudocube> = Vec::new();
+    let mut stats = GenStats::default();
+    for d in 0..n {
+        let level = sorted(&levels[d]);
+        if level.is_empty() {
+            continue;
+        }
+        let mut discarded = vec![false; level.len()];
+        let mut comparisons = 0u64;
+        let mut trie = PartitionTrie::new(n);
+        for (i, pc) in level.iter().enumerate() {
+            trie.insert(pc, i as u32);
+        }
+        let groups: Vec<Vec<u32>> =
+            trie.groups().map(|g| g.iter().map(|l| l.payload).collect()).collect();
+        let num_groups = groups.len();
+        for group in groups {
+            // The union sweep can dwarf the level size; enforce the budget
+            // between groups so a single level cannot blow past it.
+            if generated > options.gen_limits.max_pseudocubes || past_deadline() {
+                truncated = true;
+                break;
+            }
+            comparisons += (group.len() as u64) * (group.len() as u64 - 1) / 2;
+            for (a, &i) in group.iter().enumerate() {
+                if a % 64 == 0 && (generated > options.gen_limits.max_pseudocubes || past_deadline()) {
+                    truncated = true;
+                    break;
+                }
+                for &j in &group[a + 1..] {
+                    let u = level[i as usize]
+                        .union(&level[j as usize])
+                        .expect("grouped pseudocubes unite");
+                    let lit = u.literal_count();
+                    if lit <= level[i as usize].literal_count() {
+                        discarded[i as usize] = true;
+                    }
+                    if lit <= level[j as usize].literal_count() {
+                        discarded[j as usize] = true;
+                    }
+                    if levels[d + 1].insert(u) {
+                        generated += 1;
+                    }
+                }
+            }
+        }
+        if generated > options.gen_limits.max_pseudocubes {
+            truncated = true;
+        }
+        let mut kept = 0usize;
+        for (pc, dropped) in level.iter().zip(&discarded) {
+            if !dropped {
+                retained.push(pc.clone());
+                kept += 1;
+            }
+        }
+        stats.levels.push(LevelStats {
+            degree: d,
+            size: level.len(),
+            groups: num_groups,
+            comparisons,
+            retained: kept,
+        });
+        stats.comparisons += comparisons;
+        if truncated {
+            break;
+        }
+    }
+    // The top level (degree n, or where generation stopped) is kept as-is.
+    for level in &levels[stats.levels.len()..=n] {
+        retained.extend(sorted(level));
+    }
+    stats.total_generated = generated;
+    stats.truncated = truncated;
+
+    // Phase 4: minimum-literal covering.
+    let gen_elapsed = phase_start.elapsed();
+    let cover_start = std::time::Instant::now();
+    let (form, cover_optimal) = cover_with_candidates(f, &retained, &options.cover_limits);
+    SppMinResult {
+        form,
+        num_candidates: retained.len(),
+        optimal: cover_optimal && !truncated && k + 1 >= n,
+        gen_stats: stats,
+        gen_elapsed,
+        cover_elapsed: cover_start.elapsed(),
+    }
+}
+
+fn sorted(set: &HashSet<Pseudocube>) -> Vec<Pseudocube> {
+    let mut v: Vec<Pseudocube> = set.iter().cloned().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{minimize_spp_exact, SppOptions};
+
+    fn heuristic(f: &BoolFn, k: usize) -> SppMinResult {
+        minimize_spp_heuristic(f, k, &SppOptions::default())
+    }
+
+    #[test]
+    fn k0_already_finds_the_paper_example() {
+        let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+        let r = heuristic(&f, 0);
+        assert_eq!(r.literal_count(), 3);
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+
+    #[test]
+    fn upper_bound_tightens_with_k() {
+        // SPP_k literal counts are non-increasing in k and SPP_{n−1}
+        // matches the exact algorithm, on a batch of functions.
+        for (n, seed) in [(4usize, 0x5eedu64), (4, 99), (5, 1234)] {
+            let f = BoolFn::from_truth_fn(n, |x| {
+                (x.wrapping_mul(seed) >> 3) & 1 == 1 || x % 7 == 1
+            });
+            if f.is_zero() {
+                continue;
+            }
+            let exact = minimize_spp_exact(&f, &SppOptions::default());
+            let mut prev = u64::MAX;
+            for k in 0..n {
+                let r = heuristic(&f, k);
+                assert!(r.form.check_realizes(&f).is_ok(), "n={n} seed={seed} k={k}");
+                assert!(
+                    r.literal_count() <= prev,
+                    "n={n} seed={seed}: SPP_{k} = {} worse than SPP_{} = {prev}",
+                    r.literal_count(),
+                    k - 1
+                );
+                assert!(
+                    r.literal_count() >= exact.literal_count(),
+                    "n={n} seed={seed} k={k}: heuristic beat the exact optimum"
+                );
+                prev = r.literal_count();
+            }
+            let full = heuristic(&f, n - 1);
+            assert_eq!(
+                full.literal_count(),
+                exact.literal_count(),
+                "n={n} seed={seed}: SPP_(n-1) must equal the exact SPP"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_found_even_at_k0() {
+        // All prime implicants of parity are minterms sharing one structure:
+        // the ascent rebuilds the single EXOR factor without any descent.
+        let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+        let r = heuristic(&f, 0);
+        assert_eq!(r.literal_count(), 4);
+        assert_eq!(r.form.num_pseudoproducts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must satisfy")]
+    fn k_out_of_range_panics() {
+        let f = BoolFn::from_indices(3, &[1]);
+        let _ = heuristic(&f, 3);
+    }
+
+    #[test]
+    fn constant_functions() {
+        let zero = BoolFn::from_indices(3, &[]);
+        let r = heuristic(&zero, 0);
+        assert_eq!(r.form.num_pseudoproducts(), 0);
+        let one = BoolFn::from_truth_fn(3, |_| true);
+        let r = heuristic(&one, 0);
+        assert!(r.form.check_realizes(&one).is_ok());
+        assert_eq!(r.literal_count(), 0);
+    }
+
+    #[test]
+    fn candidates_include_the_prime_implicants_not_discarded() {
+        let f = BoolFn::from_indices(3, &[0b001, 0b011, 0b111]);
+        let r = heuristic(&f, 0);
+        assert!(r.num_candidates >= 1);
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+}

@@ -1,0 +1,75 @@
+//! Sum-of-Pseudoproducts (SPP) three-level logic minimization — a full
+//! implementation of *V. Ciriani, "Logic Minimization using Exclusive OR
+//! Gates", DAC 2001*.
+//!
+//! An SPP form is an OR of *pseudoproducts*, each an AND of EXOR factors —
+//! a direct generalization of Sum-of-Products where literals become parity
+//! functions. SPP forms are on average about half the size of the
+//! corresponding SP forms; this crate provides the paper's two synthesis
+//! procedures and every concept they rest on:
+//!
+//! - [`Pseudocube`] / [`Cex`] / [`Structure`]: pseudocubes as affine
+//!   subspaces of GF(2)^n, their canonical expressions (Definition 1) and
+//!   structures (Definition 2), with the union Theorem 1 in both its
+//!   affine ([`Pseudocube::union`]) and literal-level ([`Cex::union`],
+//!   Algorithm 1) forms;
+//! - [`PartitionTrie`]: the paper's data structure grouping expressions by
+//!   structure (§3.2);
+//! - [`generate_eppp`]: construction of the extended prime pseudoproduct
+//!   set (Definition 3) by structure-grouped unions — Algorithm 2 steps
+//!   1–2 — with the quadratic algorithm of Luccio–Pagli [5] as a selectable
+//!   baseline;
+//! - [`minimize_spp_exact`]: Algorithm 2 end to end (generation +
+//!   minimum-literal covering);
+//! - [`minimize_spp_heuristic`]: Algorithm 3, the incremental `SPP_k`
+//!   heuristic seeded by SP prime implicants with descendant/ascendant
+//!   phases over [`sub_pseudocubes`] (Theorem 2);
+//! - [`verify_cover`]: independent correctness checking of any produced
+//!   form.
+//!
+//! # Examples
+//!
+//! ```
+//! use spp_boolfn::BoolFn;
+//! use spp_core::{minimize_spp_exact, SppOptions};
+//!
+//! // The paper's motivating effect: parity-like functions collapse.
+//! let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+//! let result = minimize_spp_exact(&f, &SppOptions::default());
+//! assert_eq!(result.form.to_string(), "(x0⊕x1⊕x2⊕x3)");
+//! assert!(result.form.check_realizes(&f).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cex;
+mod form;
+mod generate;
+mod heuristic;
+mod minimize;
+mod multi;
+mod pseudocube;
+mod restricted;
+mod structure;
+mod subpseudo;
+mod trie;
+mod verify;
+
+pub use cex::{Cex, EmptyPseudoproductError, ExorFactor};
+pub use form::SppForm;
+pub use generate::{
+    generate_eppp, generate_eppp_where, EpppSet, GenLimits, GenStats, Grouping, LevelStats,
+};
+pub use heuristic::{minimize_spp_heuristic, minimize_spp_heuristic_from_cover};
+pub use minimize::{minimize_spp_exact, SppMinResult, SppOptions};
+pub use multi::{minimize_spp_multi, MultiSppResult};
+pub use pseudocube::Pseudocube;
+pub use restricted::{
+    factor_width_at_most, minimize_2spp, minimize_spp_restricted, restricted_default_grouping,
+    restricted_default_limits,
+};
+pub use structure::Structure;
+pub use subpseudo::sub_pseudocubes;
+pub use trie::{Leaf, NodeKind, PartitionTrie};
+pub use verify::{verify_cover, VerifyError};

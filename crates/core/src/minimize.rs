@@ -1,0 +1,244 @@
+//! End-to-end exact SPP minimization (Algorithm 2).
+
+use spp_boolfn::BoolFn;
+use spp_cover::{solve_auto, CoverProblem};
+
+use crate::{generate_eppp, GenLimits, GenStats, Grouping, Pseudocube, SppForm};
+
+/// Configuration of the SPP minimizers.
+#[derive(Clone, Debug, Default)]
+pub struct SppOptions {
+    /// Structure-grouping strategy for pseudocube generation.
+    pub grouping: Grouping,
+    /// Budget of the generation phase.
+    pub gen_limits: GenLimits,
+    /// Budget of the set-covering phase.
+    pub cover_limits: spp_cover::Limits,
+}
+
+/// The outcome of an SPP minimization run.
+#[derive(Clone, Debug)]
+pub struct SppMinResult {
+    /// The synthesized SPP form.
+    pub form: SppForm,
+    /// The number of candidate pseudoproducts offered to the covering step
+    /// (the paper's `#EPPP` for the exact algorithm).
+    pub num_candidates: usize,
+    /// Statistics of the generation phase.
+    pub gen_stats: GenStats,
+    /// Whether both phases ran to completion with optimality proofs; when
+    /// false the literal count is an upper bound, as in the paper's large
+    /// entries.
+    pub optimal: bool,
+    /// Wall-clock time of the candidate-generation phase.
+    pub gen_elapsed: std::time::Duration,
+    /// Wall-clock time of the set-covering phase.
+    pub cover_elapsed: std::time::Duration,
+}
+
+impl SppMinResult {
+    /// The paper's `#L`: literals in the synthesized form.
+    #[must_use]
+    pub fn literal_count(&self) -> u64 {
+        self.form.literal_count()
+    }
+}
+
+/// Minimizes `f` as an SPP form with the fewest literals — the paper's
+/// **Algorithm 2**: (1–2) build the EPPP set by structure-grouped unions
+/// over partition tries, (3) solve the induced minimum-literal covering
+/// problem.
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_core::{minimize_spp_exact, SppOptions};
+///
+/// // Odd parity on 3 variables: SP needs 4 minterms (12 literals),
+/// // SPP needs the single factor (x0⊕x1⊕x2).
+/// let f = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
+/// let r = minimize_spp_exact(&f, &SppOptions::default());
+/// assert_eq!(r.literal_count(), 3);
+/// assert!(r.form.check_realizes(&f).is_ok());
+/// ```
+#[must_use]
+pub fn minimize_spp_exact(f: &BoolFn, options: &SppOptions) -> SppMinResult {
+    let gen_start = std::time::Instant::now();
+    let eppp = generate_eppp(f, options.grouping, &options.gen_limits);
+    let mut candidates = eppp.pseudocubes;
+    if eppp.stats.truncated {
+        // A truncated run may have lost the high-degree pseudoproducts the
+        // minimum needs. Cubes are pseudoproducts, so folding in the SP
+        // prime implicants keeps the guarantee that an SPP form is never
+        // worse than the SP form ("in the worst case, SP and SPP forms
+        // coincide" — paper §1) even under a budget.
+        let known: std::collections::HashSet<&Pseudocube> = candidates.iter().collect();
+        let extra: Vec<Pseudocube> = spp_sp::prime_implicants(f)
+            .iter()
+            .map(Pseudocube::from_cube)
+            .filter(|pc| !known.contains(pc))
+            .collect();
+        candidates.extend(extra);
+    }
+    let gen_elapsed = gen_start.elapsed();
+    let cover_start = std::time::Instant::now();
+    let (mut form, cover_optimal) = cover_with_candidates(f, &candidates, &options.cover_limits);
+    if eppp.stats.truncated {
+        // Junk-heavy truncated pools can mislead the greedy cover; the SP
+        // minimum is always a valid SPP form, so never return worse.
+        let sp = spp_sp::minimize_sp(f, &options.cover_limits);
+        if sp.form.literal_count() < form.literal_count() {
+            form = SppForm::new(
+                f.num_vars(),
+                sp.form.cubes().iter().map(Pseudocube::from_cube).collect(),
+            );
+        }
+    }
+    SppMinResult {
+        form,
+        num_candidates: candidates.len(),
+        optimal: cover_optimal && !eppp.stats.truncated,
+        gen_stats: eppp.stats,
+        gen_elapsed,
+        cover_elapsed: cover_start.elapsed(),
+    }
+}
+
+/// Solves the minimum-literal covering of `f`'s ON-set by the given
+/// candidate pseudoproducts. Shared by the exact algorithm and the
+/// heuristic (steps 3 / 4 respectively).
+pub(crate) fn cover_with_candidates(
+    f: &BoolFn,
+    candidates: &[Pseudocube],
+    limits: &spp_cover::Limits,
+) -> (SppForm, bool) {
+    let on = f.on_set();
+    let mut problem = CoverProblem::new(on.len());
+    for pc in candidates {
+        let rows = rows_covered(on, pc);
+        // The full-space pseudocube (tautology) has 0 literals; clamp so
+        // covering costs stay positive.
+        problem.add_column(&rows, pc.literal_count().max(1));
+    }
+    let solution = solve_auto(&problem, limits);
+    let terms: Vec<Pseudocube> =
+        solution.columns.iter().map(|&c| candidates[c].clone()).collect();
+    (SppForm::new(f.num_vars(), terms), solution.optimal)
+}
+
+/// The ON-set row indices covered by `pc`, computed by whichever side is
+/// smaller: enumerating the pseudocube's points or scanning the ON-set.
+fn rows_covered(on: &[spp_gf2::Gf2Vec], pc: &Pseudocube) -> Vec<usize> {
+    if pc.degree() < 63 && (1u64 << pc.degree()) < on.len() as u64 {
+        let mut rows: Vec<usize> =
+            pc.points().filter_map(|p| on.binary_search(&p).ok()).collect();
+        rows.sort_unstable();
+        rows
+    } else {
+        on.iter()
+            .enumerate()
+            .filter(|(_, p)| pc.contains(p))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_cover::Limits;
+    use spp_sp::minimize_sp;
+
+    fn exact(f: &BoolFn) -> SppMinResult {
+        minimize_spp_exact(f, &SppOptions::default())
+    }
+
+    #[test]
+    fn paper_intro_worked_example() {
+        // x1x2x̄4 + x̄1x2x4 → x2·(x1⊕x4): 3 literals, 1 pseudoproduct.
+        let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+        let r = exact(&f);
+        assert_eq!(r.literal_count(), 3);
+        assert_eq!(r.form.num_pseudoproducts(), 1);
+        assert!(r.optimal);
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+
+    #[test]
+    fn parity_is_one_factor() {
+        let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 0);
+        let r = exact(&f);
+        // Even parity = complemented factor (x0⊕x1⊕x2⊕x̄3): 4 literals.
+        assert_eq!(r.literal_count(), 4);
+        assert_eq!(r.form.num_pseudoproducts(), 1);
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+
+    #[test]
+    fn spp_never_beats_nor_loses_to_sp_wrongly() {
+        // SPP minimal literals ≤ SP minimal literals (SP forms are SPP
+        // forms), checked on a batch of small functions.
+        for seed in [3u64, 17, 94, 201, 255, 1021] {
+            let f = BoolFn::from_truth_fn(4, |x| (seed >> (x % 7)) & 1 == 1 || x % 5 == seed % 5);
+            if f.is_zero() {
+                continue;
+            }
+            let spp = exact(&f);
+            let sp = minimize_sp(&f, &Limits::default());
+            assert!(
+                spp.literal_count() <= sp.literal_count(),
+                "seed {seed}: SPP {} > SP {}",
+                spp.literal_count(),
+                sp.literal_count()
+            );
+            assert!(spp.form.check_realizes(&f).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn constant_zero_yields_empty_form() {
+        let f = BoolFn::from_indices(3, &[]);
+        let r = exact(&f);
+        assert_eq!(r.form.num_pseudoproducts(), 0);
+        assert_eq!(r.literal_count(), 0);
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+
+    #[test]
+    fn tautology_yields_trivial_form() {
+        let f = BoolFn::from_truth_fn(3, |_| true);
+        let r = exact(&f);
+        assert_eq!(r.form.num_pseudoproducts(), 1);
+        assert_eq!(r.literal_count(), 0); // the empty pseudoproduct "1"
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+
+    #[test]
+    fn exhaustive_3var_spp_is_at_most_sp() {
+        for tt in 1u16..=255 {
+            let f = BoolFn::from_truth_fn(3, |x| tt >> x & 1 == 1);
+            let spp = exact(&f);
+            let sp = minimize_sp(&f, &Limits::default());
+            assert!(spp.form.check_realizes(&f).is_ok(), "tt={tt:#010b}");
+            assert!(
+                spp.literal_count() <= sp.literal_count(),
+                "tt={tt:#010b}: {} > {}",
+                spp.literal_count(),
+                sp.literal_count()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_generation_reports_non_optimal() {
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 == 1);
+        let options = SppOptions {
+            gen_limits: GenLimits { max_pseudocubes: 8, ..GenLimits::default() },
+            ..SppOptions::default()
+        };
+        let r = minimize_spp_exact(&f, &options);
+        assert!(!r.optimal);
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+}

@@ -1,0 +1,248 @@
+//! Multi-output SPP minimization with shared pseudoproducts.
+//!
+//! The paper minimizes "the different outputs of each function ...
+//! separately". This module implements the natural multi-output
+//! extension: one covering problem over all `(output, minterm)` pairs, in
+//! which a pseudoproduct's literals are paid **once** no matter how many
+//! outputs reuse it — the sharing that PLA-style implementations exploit.
+
+use spp_boolfn::BoolFn;
+use spp_cover::{solve_auto, CoverProblem};
+
+use crate::{generate_eppp, Pseudocube, SppForm, SppOptions};
+
+/// The outcome of [`minimize_spp_multi`].
+#[derive(Clone, Debug)]
+pub struct MultiSppResult {
+    /// One SPP form per output, in input order. Terms are shared: the
+    /// same pseudoproduct may appear in several forms.
+    pub forms: Vec<SppForm>,
+    /// The distinct pseudoproducts used across all outputs.
+    pub shared_terms: Vec<Pseudocube>,
+    /// Literals when each shared pseudoproduct is counted once (the
+    /// multi-output cost that was minimized).
+    pub shared_literal_count: u64,
+    /// Whether the covering step proved optimality over the generated
+    /// candidates.
+    pub optimal: bool,
+}
+
+impl MultiSppResult {
+    /// Literals when each output's form is counted separately (the
+    /// paper's per-output accounting, for comparison).
+    #[must_use]
+    pub fn separate_literal_count(&self) -> u64 {
+        self.forms.iter().map(SppForm::literal_count).sum()
+    }
+}
+
+/// Minimizes a multi-output function as SPP forms sharing pseudoproducts:
+/// generates per-output EPPP candidates, merges them, and solves one
+/// covering problem over all `(output, minterm)` pairs where each chosen
+/// pseudoproduct is an implicant of every output it feeds and its
+/// literals are paid once.
+///
+/// # Panics
+///
+/// Panics if `outputs` is empty or the outputs have different variable
+/// counts.
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_core::{minimize_spp_multi, SppOptions};
+///
+/// // Two outputs that can share the parity term (x0 ⊕ x1).
+/// let f0 = BoolFn::from_truth_fn(3, |x| (x ^ (x >> 1)) & 1 == 1);
+/// let f1 = BoolFn::from_truth_fn(3, |x| (x ^ (x >> 1)) & 1 == 1 && x & 0b100 != 0);
+/// let r = minimize_spp_multi(&[f0.clone(), f1.clone()], &SppOptions::default());
+/// assert!(r.forms[0].check_realizes(&f0).is_ok());
+/// assert!(r.forms[1].check_realizes(&f1).is_ok());
+/// assert!(r.shared_literal_count <= r.separate_literal_count());
+/// ```
+#[must_use]
+pub fn minimize_spp_multi(outputs: &[BoolFn], options: &SppOptions) -> MultiSppResult {
+    let n = outputs.first().expect("at least one output").num_vars();
+    assert!(
+        outputs.iter().all(|f| f.num_vars() == n),
+        "all outputs must share the input variables"
+    );
+
+    // Candidate pool: the union of the per-output EPPP sets.
+    let mut truncated = false;
+    let mut pool: Vec<Pseudocube> = Vec::new();
+    let mut seen: std::collections::HashSet<Pseudocube> = std::collections::HashSet::new();
+    for f in outputs {
+        let eppp = generate_eppp(f, options.grouping, &options.gen_limits);
+        truncated |= eppp.stats.truncated;
+        for pc in eppp.pseudocubes {
+            if seen.insert(pc.clone()) {
+                pool.push(pc);
+            }
+        }
+    }
+
+    // Rows: (output, minterm) pairs.
+    let mut row_base = Vec::with_capacity(outputs.len());
+    let mut total_rows = 0usize;
+    for f in outputs {
+        row_base.push(total_rows);
+        total_rows += f.on_set().len();
+    }
+
+    // Columns: each candidate covers the pairs of every output it is an
+    // implicant of; literals are paid once per candidate.
+    let mut problem = CoverProblem::new(total_rows);
+    let mut valid_outputs: Vec<Vec<usize>> = Vec::with_capacity(pool.len());
+    for pc in &pool {
+        let mut rows = Vec::new();
+        let mut valid = Vec::new();
+        for (j, f) in outputs.iter().enumerate() {
+            if !pc.points().all(|p| f.is_coverable(&p)) {
+                continue;
+            }
+            valid.push(j);
+            for (m, point) in f.on_set().iter().enumerate() {
+                if pc.contains(point) {
+                    rows.push(row_base[j] + m);
+                }
+            }
+        }
+        valid_outputs.push(valid);
+        problem.add_column(&rows, pc.literal_count().max(1));
+    }
+
+    let solution = solve_auto(&problem, &options.cover_limits);
+    let shared_terms: Vec<Pseudocube> =
+        solution.columns.iter().map(|&c| pool[c].clone()).collect();
+    let shared_literal_count = shared_terms.iter().map(Pseudocube::literal_count).sum();
+
+    // Assemble per-output forms, dropping terms redundant for an output.
+    let mut forms = Vec::with_capacity(outputs.len());
+    for (j, f) in outputs.iter().enumerate() {
+        let mut terms: Vec<Pseudocube> = solution
+            .columns
+            .iter()
+            .filter(|&&c| valid_outputs[c].contains(&j))
+            .map(|&c| pool[c].clone())
+            .collect();
+        // Keep only terms contributing uncovered minterms (cheapest-last
+        // greedy prune keeps the forms tidy without changing the cost
+        // model, which counts shared terms once anyway).
+        terms.sort_by_key(|t| std::cmp::Reverse(t.literal_count()));
+        let mut kept: Vec<Pseudocube> = Vec::new();
+        for (i, t) in terms.iter().enumerate() {
+            let others_cover = |p: &spp_gf2::Gf2Vec| {
+                kept.iter().any(|k| k.contains(p))
+                    || terms[i + 1..].iter().any(|k| k.contains(p))
+            };
+            if f.on_set().iter().any(|p| t.contains(p) && !others_cover(p)) {
+                kept.push(t.clone());
+            }
+        }
+        // Safety net: anything still uncovered keeps its original terms.
+        for p in f.on_set() {
+            if !kept.iter().any(|k| k.contains(p)) {
+                let t = terms
+                    .iter()
+                    .find(|t| t.contains(p))
+                    .expect("cover solution covers every pair")
+                    .clone();
+                kept.push(t);
+            }
+        }
+        forms.push(SppForm::new(n, kept));
+    }
+
+    MultiSppResult {
+        forms,
+        shared_terms,
+        shared_literal_count,
+        optimal: solution.optimal && !truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize_spp_exact;
+
+    #[test]
+    fn forms_verify_and_share() {
+        // Sum and carry of a 2-bit half-add chain share parity terms.
+        let sum = BoolFn::from_truth_fn(4, |x| ((x & 1) ^ (x >> 2 & 1)) == 1);
+        let and = BoolFn::from_truth_fn(4, |x| (x & 1) & (x >> 2 & 1) == 1);
+        let r = minimize_spp_multi(&[sum.clone(), and.clone()], &SppOptions::default());
+        r.forms[0].check_realizes(&sum).unwrap();
+        r.forms[1].check_realizes(&and).unwrap();
+        assert!(r.shared_literal_count <= r.separate_literal_count());
+    }
+
+    #[test]
+    fn sharing_never_loses_to_separate_minimization() {
+        let f0 = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+        let f1 = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1 || x == 0);
+        let outputs = [f0.clone(), f1.clone()];
+        let multi = minimize_spp_multi(&outputs, &SppOptions::default());
+        let separate: u64 = outputs
+            .iter()
+            .map(|f| minimize_spp_exact(f, &SppOptions::default()).literal_count())
+            .sum();
+        // Shared accounting can only help (the separate solution is a
+        // feasible multi-output solution).
+        assert!(
+            multi.shared_literal_count <= separate,
+            "shared {} > separate {}",
+            multi.shared_literal_count,
+            separate
+        );
+    }
+
+    #[test]
+    fn identical_outputs_pay_once() {
+        let f = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
+        let single = minimize_spp_exact(&f, &SppOptions::default());
+        let multi = minimize_spp_multi(&[f.clone(), f.clone(), f.clone()], &SppOptions::default());
+        assert_eq!(multi.shared_literal_count, single.literal_count());
+        for form in &multi.forms {
+            form.check_realizes(&f).unwrap();
+        }
+    }
+
+    #[test]
+    fn disjoint_outputs_just_concatenate() {
+        let f0 = BoolFn::from_truth_fn(4, |x| x & 0b0011 == 0b0011);
+        let f1 = BoolFn::from_truth_fn(4, |x| x & 0b1100 == 0b1100);
+        let multi = minimize_spp_multi(&[f0.clone(), f1.clone()], &SppOptions::default());
+        let separate: u64 = [&f0, &f1]
+            .iter()
+            .map(|f| minimize_spp_exact(f, &SppOptions::default()).literal_count())
+            .sum();
+        assert_eq!(multi.shared_literal_count, separate);
+    }
+
+    #[test]
+    fn zero_output_is_fine() {
+        let f0 = BoolFn::from_indices(3, &[]);
+        let f1 = BoolFn::from_indices(3, &[1, 2]);
+        let multi = minimize_spp_multi(&[f0.clone(), f1.clone()], &SppOptions::default());
+        multi.forms[0].check_realizes(&f0).unwrap();
+        multi.forms[1].check_realizes(&f1).unwrap();
+        assert_eq!(multi.forms[0].num_pseudoproducts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn empty_input_panics() {
+        let _ = minimize_spp_multi(&[], &SppOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "share the input variables")]
+    fn mixed_widths_panic() {
+        let f0 = BoolFn::from_indices(3, &[1]);
+        let f1 = BoolFn::from_indices(4, &[1]);
+        let _ = minimize_spp_multi(&[f0, f1], &SppOptions::default());
+    }
+}

@@ -1,0 +1,152 @@
+//! The structure `STR(P)` of a pseudoproduct (Definition 2).
+
+use std::fmt;
+
+use spp_gf2::Gf2Vec;
+
+use crate::{Cex, Pseudocube};
+
+/// The structure of a pseudoproduct: its CEX expression *without
+/// complementations* (Definition 2) — the variable sets of the EXOR
+/// factors, in non-canonical order.
+///
+/// Theorem 1: the union of two pseudocubes is a pseudocube iff their
+/// structures are equal, which makes `Structure` the grouping key of the
+/// whole minimization method. Internally the canonical carrier of a
+/// structure is the direction space ([`Pseudocube::structure`]); this type
+/// is the literal-level view used for display, hashing and comparison of
+/// expressions.
+///
+/// # Examples
+///
+/// ```
+/// use spp_core::{Pseudocube, Structure};
+///
+/// let a = Pseudocube::from_cube(&"110".parse().unwrap());
+/// let b = Pseudocube::from_cube(&"011".parse().unwrap());
+/// assert_eq!(Structure::of(&a), Structure::of(&b));
+/// assert_eq!(Structure::of(&a).to_string(), "x0·x1·x2");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Structure {
+    n: usize,
+    factor_vars: Vec<Gf2Vec>,
+}
+
+impl Structure {
+    /// The structure of a pseudocube.
+    #[must_use]
+    pub fn of(pc: &Pseudocube) -> Self {
+        Self::of_cex(&pc.cex())
+    }
+
+    /// The structure of a CEX expression (erases complementations).
+    #[must_use]
+    pub fn of_cex(cex: &Cex) -> Self {
+        Structure { n: cex.num_vars(), factor_vars: cex.structure() }
+    }
+
+    /// The number of variables of the ambient space.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The variable sets of the EXOR factors.
+    #[must_use]
+    pub fn factor_vars(&self) -> &[Gf2Vec] {
+        &self.factor_vars
+    }
+
+    /// The number of factors (`n − m` for a degree-`m` pseudocube).
+    #[must_use]
+    pub fn num_factors(&self) -> usize {
+        self.factor_vars.len()
+    }
+}
+
+impl fmt::Display for Structure {
+    /// Paper notation without complementations, e.g.
+    /// `(x0⊕x1⊕x3)·(x0⊕x4⊕x5)·x7`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factor_vars.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, vars) in self.factor_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            let multi = vars.count_ones() > 1;
+            if multi {
+                write!(f, "(")?;
+            }
+            for (j, v) in vars.iter_ones().enumerate() {
+                if j > 0 {
+                    write!(f, "⊕")?;
+                }
+                write!(f, "x{v}")?;
+            }
+            if multi {
+                write!(f, ")")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Structure({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExorFactor;
+
+    #[test]
+    fn paper_definition2_example() {
+        // CEX = (x0⊕x1⊕x̄3)·(x0⊕x4⊕x5)·x̄7 →
+        // STR = (x0⊕x1⊕x3)·(x0⊕x4⊕x5)·x7
+        let fac = |vars: &[usize], neg| ExorFactor::new(Gf2Vec::from_index_bits(8, vars), neg);
+        let cex = Cex::new(
+            8,
+            vec![fac(&[0, 1, 3], true), fac(&[0, 4, 5], false), fac(&[7], true)],
+        );
+        let s = Structure::of_cex(&cex);
+        assert_eq!(s.to_string(), "(x0⊕x1⊕x3)·(x0⊕x4⊕x5)·x7");
+        assert_eq!(s.num_factors(), 3);
+    }
+
+    #[test]
+    fn structure_equality_erases_complementation() {
+        let fac = |vars: &[usize], neg| ExorFactor::new(Gf2Vec::from_index_bits(4, vars), neg);
+        let a = Cex::new(4, vec![fac(&[0, 1], true), fac(&[2], false), fac(&[3], true)]);
+        let b = Cex::new(4, vec![fac(&[0, 1], false), fac(&[2], true), fac(&[3], true)]);
+        assert_eq!(Structure::of_cex(&a), Structure::of_cex(&b));
+    }
+
+    #[test]
+    fn structure_matches_direction_space_grouping() {
+        // Two pseudocubes: equal Structure ⟺ equal direction space.
+        let p = |pts: &[&str]| {
+            let v: Vec<Gf2Vec> = pts.iter().map(|s| Gf2Vec::from_bit_str(s).unwrap()).collect();
+            Pseudocube::from_points(&v).unwrap()
+        };
+        let a = p(&["000", "011"]);
+        let b = p(&["100", "111"]);
+        let c = p(&["000", "101"]);
+        assert_eq!(Structure::of(&a), Structure::of(&b));
+        assert_ne!(Structure::of(&a), Structure::of(&c));
+        assert_eq!(a.structure() == b.structure(), Structure::of(&a) == Structure::of(&b));
+        assert_eq!(a.structure() == c.structure(), Structure::of(&a) == Structure::of(&c));
+    }
+
+    #[test]
+    fn whole_space_structure_is_one() {
+        let pc = Pseudocube::from_cube(&"---".parse().unwrap());
+        assert_eq!(Structure::of(&pc).to_string(), "1");
+        assert_eq!(Structure::of(&pc).num_factors(), 0);
+    }
+}

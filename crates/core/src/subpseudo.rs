@@ -1,0 +1,107 @@
+//! Sub-pseudocube enumeration (Theorem 2).
+
+use crate::Pseudocube;
+
+/// Enumerates **all** `2^{m+1} − 2` distinct pseudocubes of degree `m − 1`
+/// strictly contained in a pseudocube of degree `m` (Theorem 2 / [1]).
+///
+/// In the affine view: every hyperplane subspace `W' ⊂ W` (there are
+/// `2^m − 1`) splits the coset into exactly two cosets of `W'`. The paper's
+/// formulation — append one more EXOR factor `A_{q+1}` over the canonical
+/// variables, in either polarity — enumerates the same family: each
+/// `A_{q+1}` is a new affine constraint cutting the subspace in half.
+///
+/// This is the descendant step of the heuristic (Algorithm 3, step 2).
+///
+/// # Examples
+///
+/// ```
+/// use spp_core::{sub_pseudocubes, Pseudocube};
+///
+/// let pc = Pseudocube::from_cube(&"1--".parse().unwrap()); // degree 2
+/// let subs = sub_pseudocubes(&pc);
+/// assert_eq!(subs.len(), 6); // 2^{2+1} − 2
+/// assert!(subs.iter().all(|s| s.degree() == 1 && pc.covers(s)));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the degree exceeds 30 (the result would not fit in memory).
+#[must_use]
+pub fn sub_pseudocubes(pc: &Pseudocube) -> Vec<Pseudocube> {
+    let mut out = Vec::new();
+    for h in pc.structure().hyperplanes() {
+        let first = Pseudocube::from_parts(pc.rep(), h.basis.clone());
+        let second = Pseudocube::from_parts(pc.rep() ^ h.offset, h.basis);
+        out.push(first);
+        out.push(second);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_gf2::Gf2Vec;
+    use std::collections::HashSet;
+
+    fn pc(points: &[&str]) -> Pseudocube {
+        let pts: Vec<Gf2Vec> = points.iter().map(|s| Gf2Vec::from_bit_str(s).unwrap()).collect();
+        Pseudocube::from_points(&pts).unwrap()
+    }
+
+    #[test]
+    fn count_matches_theorem2() {
+        for (cube, m) in [("1--", 2), ("---", 3), ("1-0", 1)] {
+            let p = Pseudocube::from_cube(&cube.parse().unwrap());
+            let subs = sub_pseudocubes(&p);
+            assert_eq!(subs.len(), (1 << (m + 1)) - 2, "cube {cube}");
+        }
+    }
+
+    #[test]
+    fn degree_zero_has_no_subs() {
+        let p = Pseudocube::from_point(Gf2Vec::from_bit_str("010").unwrap());
+        assert!(sub_pseudocubes(&p).is_empty());
+    }
+
+    #[test]
+    fn subs_are_distinct_proper_subsets() {
+        let p = pc(&["0000", "0011", "1101", "1110"]); // degree 2, non-cube
+        let subs = sub_pseudocubes(&p);
+        assert_eq!(subs.len(), 6);
+        let unique: HashSet<_> = subs.iter().cloned().collect();
+        assert_eq!(unique.len(), 6, "sub-pseudocubes must be distinct");
+        for s in &subs {
+            assert_eq!(s.degree(), p.degree() - 1);
+            assert!(p.covers(s));
+            assert!(!s.covers(&p));
+        }
+    }
+
+    #[test]
+    fn subs_exhaust_all_contained_pseudocubes() {
+        // Brute force: every degree-(m−1) pseudocube inside p must appear.
+        let p = pc(&["000", "011", "101", "110"]); // even-parity plane, degree 2
+        let subs: HashSet<Pseudocube> = sub_pseudocubes(&p).into_iter().collect();
+        let pts: Vec<Gf2Vec> = p.points().collect();
+        let mut brute = HashSet::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                brute.insert(Pseudocube::from_points(&[pts[i], pts[j]]).unwrap());
+            }
+        }
+        assert_eq!(subs, brute);
+    }
+
+    #[test]
+    fn paired_subs_reunite_to_parent() {
+        let p = pc(&["0000", "0011", "1101", "1110"]);
+        let subs = sub_pseudocubes(&p);
+        // Consecutive pairs share a structure and unite back to p.
+        for pair in subs.chunks(2) {
+            let u = pair[0].union(&pair[1]).expect("halves have equal structure");
+            assert_eq!(u, p);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Independent verification of SPP covers.
+
+use std::error::Error;
+use std::fmt;
+
+use spp_boolfn::BoolFn;
+use spp_gf2::Gf2Vec;
+
+use crate::Pseudocube;
+
+/// A violation found by [`verify_cover`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A term covers a point where the function is 0.
+    NotAnImplicant {
+        /// Index of the offending term.
+        term_index: usize,
+        /// An OFF-set point the term covers.
+        point: Gf2Vec,
+    },
+    /// An ON-set minterm is covered by no term.
+    Uncovered {
+        /// The uncovered minterm.
+        point: Gf2Vec,
+    },
+    /// A term lives in a different variable space than the function.
+    WidthMismatch {
+        /// Index of the offending term.
+        term_index: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NotAnImplicant { term_index, point } => {
+                write!(f, "term {term_index} covers OFF-set point {point}")
+            }
+            VerifyError::Uncovered { point } => write!(f, "ON-set point {point} is uncovered"),
+            VerifyError::WidthMismatch { term_index } => {
+                write!(f, "term {term_index} has the wrong number of variables")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks that `terms` is an exact cover of `f`: each term is a
+/// pseudoproduct **of f** (covers only ON or DC points — the `P ⊆ F`
+/// condition of the paper) and every ON minterm lies in some term.
+///
+/// Runs in time proportional to the total number of term points plus the
+/// ON-set size — no `2^n` enumeration — so it scales to wide functions.
+///
+/// # Errors
+///
+/// Returns the first violation found, if any.
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_core::{verify_cover, Pseudocube};
+/// use spp_gf2::Gf2Vec;
+///
+/// let f = BoolFn::from_indices(2, &[0b01, 0b10]);
+/// let term = Pseudocube::from_points(&[
+///     Gf2Vec::from_bit_str("10").unwrap(),
+///     Gf2Vec::from_bit_str("01").unwrap(),
+/// ]).unwrap();
+/// assert!(verify_cover(&f, &[term]).is_ok());
+/// ```
+pub fn verify_cover(f: &BoolFn, terms: &[Pseudocube]) -> Result<(), VerifyError> {
+    for (i, term) in terms.iter().enumerate() {
+        if term.num_vars() != f.num_vars() {
+            return Err(VerifyError::WidthMismatch { term_index: i });
+        }
+        for point in term.points() {
+            if !f.is_coverable(&point) {
+                return Err(VerifyError::NotAnImplicant { term_index: i, point });
+            }
+        }
+    }
+    for point in f.on_set() {
+        if !terms.iter().any(|t| t.contains(point)) {
+            return Err(VerifyError::Uncovered { point: *point });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Gf2Vec {
+        Gf2Vec::from_bit_str(s).unwrap()
+    }
+
+    #[test]
+    fn accepts_exact_cover() {
+        let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+        let term = Pseudocube::from_points(&[v("110"), v("011")]).unwrap();
+        assert_eq!(verify_cover(&f, &[term]), Ok(()));
+    }
+
+    #[test]
+    fn rejects_overcover_with_the_bad_point() {
+        let f = BoolFn::from_indices(2, &[0b01]);
+        let term = Pseudocube::from_cube(&"1-".parse().unwrap());
+        match verify_cover(&f, &[term]) {
+            Err(VerifyError::NotAnImplicant { term_index: 0, point }) => {
+                assert!(!f.is_on(&point));
+            }
+            other => panic!("expected NotAnImplicant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_undercover() {
+        let f = BoolFn::from_indices(2, &[0b01, 0b10]);
+        let err = verify_cover(&f, &[]).unwrap_err();
+        assert!(matches!(err, VerifyError::Uncovered { .. }));
+    }
+
+    #[test]
+    fn dc_points_may_be_covered() {
+        let f = BoolFn::with_dont_cares(2, [v("00")], [v("11")]);
+        let term = Pseudocube::from_points(&[v("00"), v("11")]).unwrap();
+        assert_eq!(verify_cover(&f, &[term]), Ok(()));
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let f = BoolFn::from_indices(2, &[0]);
+        let term = Pseudocube::from_point(v("000"));
+        assert_eq!(
+            verify_cover(&f, &[term]),
+            Err(VerifyError::WidthMismatch { term_index: 0 })
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = VerifyError::Uncovered { point: v("01") };
+        assert!(e.to_string().contains("01"));
+        let e = VerifyError::NotAnImplicant { term_index: 3, point: v("10") };
+        assert!(e.to_string().contains("term 3"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the partition trie against the ground truth:
+//! grouping by trie parent must coincide with structure equality.
+
+use proptest::prelude::*;
+use spp_core::{PartitionTrie, Pseudocube, Structure};
+use spp_gf2::{EchelonBasis, Gf2Vec};
+
+fn pseudocube_strategy(n: usize) -> impl Strategy<Value = Pseudocube> {
+    let gens = proptest::collection::vec(0u64..(1 << n), 0..=3);
+    (0u64..(1 << n), gens).prop_map(move |(rep, vs)| {
+        let mut dirs = EchelonBasis::new(n);
+        for v in vs {
+            dirs.insert(Gf2Vec::from_u64(n, v));
+        }
+        Pseudocube::from_parts(Gf2Vec::from_u64(n, rep), dirs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1 of the paper, in both directions: two insertions land in
+    /// the same group iff their structures are equal.
+    #[test]
+    fn grouping_equals_structure_equality(
+        pcs in proptest::collection::vec(pseudocube_strategy(6), 1..20)
+    ) {
+        let mut trie = PartitionTrie::new(6);
+        let nodes: Vec<u32> = pcs.iter().enumerate().map(|(i, pc)| trie.insert(pc, i as u32)).collect();
+        for i in 0..pcs.len() {
+            for j in (i + 1)..pcs.len() {
+                let same_structure = pcs[i].structure() == pcs[j].structure();
+                prop_assert_eq!(
+                    nodes[i] == nodes[j],
+                    same_structure,
+                    "items {} and {}: trie grouping disagrees with structure equality",
+                    i, j
+                );
+                // And the literal-level Structure agrees with the affine one.
+                prop_assert_eq!(
+                    Structure::of(&pcs[i]) == Structure::of(&pcs[j]),
+                    same_structure
+                );
+            }
+        }
+    }
+
+    /// Group sizes partition the insertions, and every group is unifiable:
+    /// any two members unite into a valid pseudocube.
+    #[test]
+    fn groups_are_unifiable_partitions(
+        pcs in proptest::collection::vec(pseudocube_strategy(5), 1..16)
+    ) {
+        // Deduplicate (the trie stores duplicates as distinct leaves).
+        let mut unique: Vec<Pseudocube> = pcs;
+        unique.sort();
+        unique.dedup();
+        let mut trie = PartitionTrie::new(5);
+        for (i, pc) in unique.iter().enumerate() {
+            trie.insert(pc, i as u32);
+        }
+        let total: usize = trie.groups().map(<[spp_core::Leaf]>::len).sum();
+        prop_assert_eq!(total, unique.len());
+        for group in trie.groups() {
+            for a in 0..group.len() {
+                for b in (a + 1)..group.len() {
+                    let (x, y) = (
+                        &unique[group[a].payload as usize],
+                        &unique[group[b].payload as usize],
+                    );
+                    let u = x.union(y);
+                    prop_assert!(u.is_some(), "group members must unite: {x:?} vs {y:?}");
+                    prop_assert_eq!(u.expect("checked").degree(), x.degree() + 1);
+                }
+            }
+        }
+    }
+
+    /// The lookup API agrees with insertion grouping.
+    #[test]
+    fn leaves_of_agrees_with_insert(
+        pcs in proptest::collection::vec(pseudocube_strategy(5), 2..12)
+    ) {
+        let mut trie = PartitionTrie::new(5);
+        for (i, pc) in pcs.iter().skip(1).enumerate() {
+            trie.insert(pc, i as u32);
+        }
+        let probe = &pcs[0];
+        let found = trie.leaves_of(probe).len();
+        let expected = pcs[1..]
+            .iter()
+            .filter(|pc| pc.structure() == probe.structure())
+            .count();
+        prop_assert_eq!(found, expected);
+    }
+}

@@ -1,0 +1,302 @@
+//! A growable, heap-allocated bitset for covering matrices.
+
+use std::fmt;
+
+/// A fixed-length, heap-allocated bitset.
+///
+/// Unlike [`spp_gf2::Gf2Vec`] (a small `Copy` vector over GF(2) used for
+/// points and structures), `BitSet` scales to the thousands of rows of a
+/// covering matrix.
+///
+/// # Examples
+///
+/// ```
+/// use spp_cover::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.set(3, true);
+/// s.set(99, true);
+/// assert_eq!(s.count_ones(), 2);
+/// assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![3, 99]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an all-zero bitset of `len` bits.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a bitset of `len` bits with ones at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut s = Self::new(len);
+        for &i in indices {
+            s.set(i, true);
+        }
+        s
+    }
+
+    /// Creates an all-one bitset of `len` bits.
+    #[must_use]
+    pub fn all_ones(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.mask_tail();
+        s
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// The number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset has zero length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// The number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    #[must_use]
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The number of bits set in both `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self` and `other` share at least one set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over set-bit indices in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// The index of the first set bit, or `None`.
+    #[must_use]
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitSet(len={}, ones={})", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let s = BitSet::new(130);
+        assert!(s.none());
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn all_ones_masks_tail() {
+        let s = BitSet::all_ones(70);
+        assert_eq!(s.count_ones(), 70);
+        assert_eq!(s.iter_ones().last(), Some(69));
+    }
+
+    #[test]
+    fn set_get() {
+        let mut s = BitSet::new(65);
+        s.set(64, true);
+        assert!(s.get(64));
+        assert!(!s.get(63));
+        s.set(64, false);
+        assert!(s.none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = BitSet::new(10).get(10);
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = BitSet::from_indices(100, &[1, 50, 99]);
+        let b = BitSet::from_indices(100, &[50, 99, 3]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count_ones(), 4);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![50, 99]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter_ones().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&BitSet::new(100)));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = BitSet::from_indices(10, &[2, 5]);
+        let b = BitSet::from_indices(10, &[2, 5, 7]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(BitSet::new(10).is_subset_of(&a));
+    }
+
+    #[test]
+    fn first_one_and_iter() {
+        let s = BitSet::from_indices(200, &[70, 199]);
+        assert_eq!(s.first_one(), Some(70));
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![70, 199]);
+        assert_eq!(BitSet::new(5).first_one(), None);
+    }
+
+    #[test]
+    fn zero_length_is_fine() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert!(s.none());
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Exact branch & bound covering solver.
+
+use std::time::Instant;
+
+use crate::problem::{CoverProblem, CoverSolution, Limits};
+use crate::reduce::{
+    lower_bound, remove_dominated_cols, remove_dominated_rows, select_essentials, RowIndex, State,
+};
+
+/// Columns/rows thresholds under which the quadratic dominance reductions
+/// are applied at a node (they cost O(c²)/O(r²) and only pay off on small
+/// subproblems).
+const COL_DOMINANCE_LIMIT: usize = 400;
+const ROW_DOMINANCE_LIMIT: usize = 300;
+
+struct Search<'a> {
+    problem: &'a CoverProblem,
+    index: RowIndex,
+    best: CoverSolution,
+    nodes: u64,
+    limits: &'a Limits,
+    deadline: Option<Instant>,
+    exhausted: bool,
+}
+
+/// Solves a covering instance to proven optimality with branch & bound, as
+/// long as the node/time budget in `limits` suffices; otherwise returns the
+/// best cover found with `optimal == false`.
+///
+/// `warm_start` (typically the greedy solution) seeds the upper bound and
+/// is returned if nothing better is found.
+///
+/// # Panics
+///
+/// Panics if some row is covered by no column at all.
+///
+/// # Examples
+///
+/// ```
+/// use spp_cover::{CoverProblem, solve_exact, Limits};
+///
+/// let mut p = CoverProblem::new(3);
+/// p.add_column(&[0, 1], 2);
+/// p.add_column(&[1, 2], 2);
+/// p.add_column(&[0, 2], 2);
+/// let sol = solve_exact(&p, &Limits::default(), None);
+/// assert_eq!(sol.cost, 4); // any two of the three columns
+/// assert!(sol.optimal);
+/// ```
+#[must_use]
+pub fn solve_exact(
+    problem: &CoverProblem,
+    limits: &Limits,
+    warm_start: Option<&CoverSolution>,
+) -> CoverSolution {
+    assert!(!problem.has_uncoverable_row(), "covering instance is infeasible");
+    let seed = warm_start.cloned().unwrap_or_else(|| crate::solve_greedy(problem));
+    let mut search = Search {
+        problem,
+        index: RowIndex::build(problem),
+        best: CoverSolution { optimal: false, ..seed },
+        nodes: 0,
+        limits,
+        deadline: limits.time_limit.map(|d| Instant::now() + d),
+        exhausted: true,
+    };
+    let state = State::root(problem);
+    search.recurse(state);
+    search.best.columns.sort_unstable();
+    search.best.optimal = search.exhausted;
+    search.best
+}
+
+impl Search<'_> {
+    fn out_of_budget(&mut self) -> bool {
+        // Latched: once any budget trips, every later check returns true so
+        // the whole search tree unwinds immediately.
+        if !self.exhausted {
+            return true;
+        }
+        if self.nodes >= self.limits.max_nodes {
+            self.exhausted = false;
+            return true;
+        }
+        // Check the clock every 256 nodes to keep it off the hot path.
+        if self.nodes.is_multiple_of(256) {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.exhausted = false;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn recurse(&mut self, mut state: State) {
+        self.nodes += 1;
+        if self.out_of_budget() {
+            return;
+        }
+        if !select_essentials(self.problem, &self.index, &mut state) {
+            return; // infeasible branch (a row lost all its columns)
+        }
+        if state.cost >= self.best.cost {
+            return;
+        }
+        if state.done() {
+            self.best = CoverSolution {
+                columns: state.selected.clone(),
+                cost: state.cost,
+                optimal: false,
+            };
+            return;
+        }
+        if state.active_rows.count_ones() <= ROW_DOMINANCE_LIMIT {
+            remove_dominated_rows(&self.index, &mut state);
+        }
+        if state.active_cols.count_ones() <= COL_DOMINANCE_LIMIT {
+            remove_dominated_cols(self.problem, &mut state);
+            // Dominance may have created new essentials.
+            if !select_essentials(self.problem, &self.index, &mut state) {
+                return;
+            }
+            if state.done() {
+                if state.cost < self.best.cost {
+                    self.best = CoverSolution {
+                        columns: state.selected.clone(),
+                        cost: state.cost,
+                        optimal: false,
+                    };
+                }
+                return;
+            }
+        }
+        if state.cost + lower_bound(self.problem, &self.index, &state) >= self.best.cost {
+            return;
+        }
+
+        // Branch on the most constrained row.
+        let branch_row = state
+            .active_rows
+            .iter_ones()
+            .min_by_key(|&r| self.index.active_cols_of(&state, r).len())
+            .expect("non-done state has an active row");
+        let mut choices = self.index.active_cols_of(&state, branch_row);
+        // Try promising columns first: big coverage per cost.
+        choices.sort_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            let ka = self.problem.cost(a) as u128
+                * state.active_rows.intersection_count(self.problem.rows_of(b)) as u128;
+            let kb = self.problem.cost(b) as u128
+                * state.active_rows.intersection_count(self.problem.rows_of(a)) as u128;
+            ka.cmp(&kb)
+        });
+        let mut remaining = state;
+        for &c in &choices {
+            let mut child = remaining.clone();
+            child.select(self.problem, c as usize);
+            self.recurse(child);
+            // Any cover avoiding all earlier choices must still cover the
+            // branch row with a later column, so excluding tried columns
+            // keeps the enumeration complete and duplicate-free.
+            remaining.active_cols.set(c as usize, false);
+            if !self.exhausted {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_on_small_instance() {
+        let mut p = CoverProblem::new(4);
+        p.add_column(&[0, 1], 3);
+        p.add_column(&[2, 3], 3);
+        p.add_column(&[0, 1, 2, 3], 5);
+        let sol = solve_exact(&p, &Limits::default(), None);
+        assert_eq!(sol.cost, 5);
+        assert_eq!(sol.columns, vec![2]);
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    fn beats_greedy_when_greedy_errs() {
+        // Classic greedy trap: the ratio rule picks the middle column.
+        let mut p = CoverProblem::new(4);
+        p.add_column(&[0, 1, 2], 3); // ratio 1.0, greedy picks this
+        p.add_column(&[0, 1], 2);
+        p.add_column(&[2, 3], 2);
+        p.add_column(&[3], 2);
+        let greedy = crate::solve_greedy(&p);
+        let exact = solve_exact(&p, &Limits::default(), Some(&greedy));
+        assert!(p.is_cover(&exact.columns));
+        assert_eq!(exact.cost, 4);
+        assert!(exact.cost <= greedy.cost);
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully() {
+        let mut p = CoverProblem::new(6);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                p.add_column(&[i, j], 2);
+            }
+        }
+        let limits = Limits { max_nodes: 2, ..Limits::default() };
+        let sol = solve_exact(&p, &limits, None);
+        assert!(p.is_cover(&sol.columns));
+        assert!(!sol.optimal);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = CoverProblem::new(0);
+        let sol = solve_exact(&p, &Limits::default(), None);
+        assert!(sol.columns.is_empty());
+        assert_eq!(sol.cost, 0);
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    fn respects_costs_not_counts() {
+        let mut p = CoverProblem::new(2);
+        p.add_column(&[0, 1], 10);
+        p.add_column(&[0], 1);
+        p.add_column(&[1], 1);
+        let sol = solve_exact(&p, &Limits::default(), None);
+        assert_eq!(sol.cost, 2);
+        assert_eq!(sol.columns, vec![1, 2]);
+    }
+
+    #[test]
+    fn random_instances_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let rows = rng.gen_range(1..=6);
+            let cols = rng.gen_range(1..=8);
+            let mut p = CoverProblem::new(rows);
+            for _ in 0..cols {
+                let members: Vec<usize> = (0..rows).filter(|_| rng.gen_bool(0.5)).collect();
+                let members = if members.is_empty() { vec![0] } else { members };
+                p.add_column(&members, rng.gen_range(1..=5));
+            }
+            if p.has_uncoverable_row() {
+                continue;
+            }
+            let sol = solve_exact(&p, &Limits::default(), None);
+            assert!(p.is_cover(&sol.columns), "trial {trial}");
+            assert!(sol.optimal, "trial {trial}");
+            // Brute force over all subsets.
+            let mut best = u64::MAX;
+            for mask in 0u32..(1 << p.num_columns()) {
+                let cols: Vec<usize> =
+                    (0..p.num_columns()).filter(|&c| mask >> c & 1 == 1).collect();
+                if p.is_cover(&cols) {
+                    best = best.min(p.total_cost(&cols));
+                }
+            }
+            assert_eq!(sol.cost, best, "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Greedy covering with redundancy elimination.
+
+use crate::problem::{CoverProblem, CoverSolution};
+use crate::BitSet;
+
+/// Solves a covering instance with the classical greedy ratio rule: always
+/// pick the column with the lowest cost per newly covered row, then drop
+/// redundant selections (most expensive first).
+///
+/// The result is a valid cover but only an upper bound on the optimum
+/// (`optimal` is set only for trivially empty instances). The EPPP covering
+/// instances of the paper reach hundreds of thousands of columns; this is
+/// the solver that handles them, mirroring the paper's use of covering
+/// heuristics ("the number of literals ... are upper bounds").
+///
+/// # Panics
+///
+/// Panics if some row is covered by no column at all.
+///
+/// # Examples
+///
+/// ```
+/// use spp_cover::{CoverProblem, solve_greedy};
+///
+/// let mut p = CoverProblem::new(3);
+/// p.add_column(&[0], 5);
+/// p.add_column(&[1, 2], 2);
+/// p.add_column(&[0, 1, 2], 4);
+/// let sol = solve_greedy(&p);
+/// assert!(p.is_cover(&sol.columns));
+/// assert_eq!(sol.cost, 4);
+/// ```
+#[must_use]
+pub fn solve_greedy(problem: &CoverProblem) -> CoverSolution {
+    assert!(!problem.has_uncoverable_row(), "covering instance is infeasible");
+    let mut uncovered = BitSet::all_ones(problem.num_rows());
+    let mut selected: Vec<usize> = Vec::new();
+
+    while !uncovered.none() {
+        let mut best: Option<(usize, usize, u64)> = None; // (col, new, cost)
+        for (c, col) in problem.columns().iter().enumerate() {
+            let new = col.rows.intersection_count(&uncovered);
+            if new == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                // Compare cost/new as fractions: cost_a * new_b < cost_b * new_a.
+                Some((bc, bnew, bcost)) => {
+                    let lhs = col.cost as u128 * bnew as u128;
+                    let rhs = bcost as u128 * new as u128;
+                    lhs < rhs || (lhs == rhs && (new > bnew || (new == bnew && c < bc)))
+                }
+            };
+            if better {
+                best = Some((c, new, col.cost));
+            }
+        }
+        let (c, _, _) = best.expect("feasible instance always has a covering column");
+        uncovered.difference_with(problem.rows_of(c));
+        selected.push(c);
+    }
+
+    remove_redundant(problem, &mut selected);
+    selected.sort_unstable();
+    let cost = problem.total_cost(&selected);
+    CoverSolution { columns: selected, cost, optimal: problem.num_rows() == 0 }
+}
+
+/// Drops selected columns that are redundant (the rest still covers),
+/// trying the most expensive first.
+fn remove_redundant(problem: &CoverProblem, selected: &mut Vec<usize>) {
+    let mut order: Vec<usize> = (0..selected.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(problem.cost(selected[i])));
+    let mut keep = vec![true; selected.len()];
+    for &i in &order {
+        keep[i] = false;
+        let mut covered = BitSet::new(problem.num_rows());
+        for (j, &c) in selected.iter().enumerate() {
+            if keep[j] {
+                covered.union_with(problem.rows_of(c));
+            }
+        }
+        if covered.count_ones() != problem.num_rows() {
+            keep[i] = true;
+        }
+    }
+    let mut j = 0;
+    selected.retain(|_| {
+        let k = keep[j];
+        j += 1;
+        k
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_and_is_reasonable() {
+        let mut p = CoverProblem::new(5);
+        p.add_column(&[0, 1, 2], 3);
+        p.add_column(&[2, 3], 2);
+        p.add_column(&[3, 4], 2);
+        p.add_column(&[4], 10);
+        let sol = solve_greedy(&p);
+        assert!(p.is_cover(&sol.columns));
+        assert_eq!(sol.cost, problem_cost(&p, &sol.columns));
+        assert!(sol.cost <= 7);
+    }
+
+    fn problem_cost(p: &CoverProblem, cols: &[usize]) -> u64 {
+        p.total_cost(cols)
+    }
+
+    #[test]
+    fn redundancy_is_removed() {
+        let mut p = CoverProblem::new(2);
+        p.add_column(&[0], 1);
+        p.add_column(&[1], 1);
+        p.add_column(&[0, 1], 1);
+        let sol = solve_greedy(&p);
+        // Greedy picks the wide cheap column; singles must not linger.
+        assert_eq!(sol.columns, vec![2]);
+        assert_eq!(sol.cost, 1);
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_optimal() {
+        let p = CoverProblem::new(0);
+        let sol = solve_greedy(&p);
+        assert!(sol.columns.is_empty());
+        assert_eq!(sol.cost, 0);
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_panics() {
+        let mut p = CoverProblem::new(2);
+        p.add_column(&[0], 1);
+        let _ = solve_greedy(&p);
+    }
+
+    #[test]
+    fn ratio_rule_prefers_cheap_coverage() {
+        let mut p = CoverProblem::new(4);
+        p.add_column(&[0, 1, 2, 3], 8); // ratio 2
+        p.add_column(&[0, 1], 2); // ratio 1
+        p.add_column(&[2, 3], 2); // ratio 1
+        let sol = solve_greedy(&p);
+        assert_eq!(sol.cost, 4);
+        assert_eq!(sol.columns, vec![1, 2]);
+    }
+}

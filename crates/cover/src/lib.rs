@@ -1,0 +1,79 @@
+//! Weighted set covering for logic minimization.
+//!
+//! Both SP and SPP minimization end in the same place (paper §1): a
+//! minimum-cost set-covering problem `⟨X, Y, R⟩` where `X` are the ON-set
+//! minterms, `Y` are the candidate implicants / extended prime
+//! pseudoproducts, and the cost of a column is its literal count. This crate
+//! is that shared final step.
+//!
+//! It provides:
+//!
+//! - [`CoverProblem`]: a sparse rows × columns incidence structure with
+//!   per-column costs;
+//! - [`solve_greedy`]: the classical ratio-rule greedy with redundancy
+//!   elimination — fast, used for the huge EPPP instances (the paper also
+//!   resorts to covering heuristics and reports upper bounds);
+//! - [`solve_exact`]: branch & bound with essential-column selection,
+//!   row/column dominance reductions and an independent-set lower bound,
+//!   under a configurable node/time budget;
+//! - [`solve_auto`]: greedy first, then exact refinement when the instance
+//!   is within budget.
+//!
+//! # Examples
+//!
+//! ```
+//! use spp_cover::{CoverProblem, solve_auto, Limits};
+//!
+//! let mut p = CoverProblem::new(3);
+//! p.add_column(&[0, 1], 2);
+//! p.add_column(&[1, 2], 2);
+//! p.add_column(&[0, 1, 2], 3);
+//! let sol = solve_auto(&p, &Limits::default());
+//! assert_eq!(sol.cost, 3); // the single wide column wins
+//! assert!(p.is_cover(&sol.columns));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod exact;
+mod greedy;
+mod problem;
+mod reduce;
+
+pub use bitset::BitSet;
+pub use exact::solve_exact;
+pub use greedy::solve_greedy;
+pub use problem::{CoverProblem, CoverSolution, Limits};
+
+/// Solves `problem` with the best strategy for its size: greedy always, and
+/// exact branch & bound (seeded with the greedy bound) when the instance is
+/// within `limits.max_exact_columns`.
+///
+/// The returned solution's [`optimal`](CoverSolution::optimal) flag is true
+/// only when the branch & bound proved optimality within budget.
+///
+/// # Examples
+///
+/// ```
+/// use spp_cover::{CoverProblem, solve_auto, Limits};
+///
+/// let mut p = CoverProblem::new(2);
+/// p.add_column(&[0], 1);
+/// p.add_column(&[1], 1);
+/// let sol = solve_auto(&p, &Limits::default());
+/// assert_eq!(sol.columns.len(), 2);
+/// assert!(sol.optimal);
+/// ```
+#[must_use]
+pub fn solve_auto(problem: &CoverProblem, limits: &Limits) -> CoverSolution {
+    let greedy = solve_greedy(problem);
+    if problem.num_columns() <= limits.max_exact_columns {
+        let exact = solve_exact(problem, limits, Some(&greedy));
+        if exact.cost <= greedy.cost {
+            return exact;
+        }
+    }
+    greedy
+}

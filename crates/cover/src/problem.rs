@@ -1,0 +1,229 @@
+//! The covering problem and solution types.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::BitSet;
+
+/// A weighted set-covering instance.
+///
+/// Rows are the elements to cover (for logic minimization: ON-set
+/// minterms); columns are candidate sets (implicants or pseudoproducts),
+/// each with a positive cost (literal count).
+///
+/// # Examples
+///
+/// ```
+/// use spp_cover::CoverProblem;
+///
+/// let mut p = CoverProblem::new(2);
+/// let c = p.add_column(&[0, 1], 3);
+/// assert_eq!(c, 0);
+/// assert!(p.is_cover(&[c]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoverProblem {
+    num_rows: usize,
+    columns: Vec<Column>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Column {
+    pub(crate) rows: BitSet,
+    pub(crate) cost: u64,
+}
+
+impl CoverProblem {
+    /// Creates a problem with `num_rows` elements and no columns.
+    #[must_use]
+    pub fn new(num_rows: usize) -> Self {
+        CoverProblem { num_rows, columns: Vec::new() }
+    }
+
+    /// Adds a column covering `rows` with the given `cost`; returns its
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row index is out of range or `cost` is zero (zero-cost
+    /// columns would make "minimum cost" degenerate).
+    pub fn add_column(&mut self, rows: &[usize], cost: u64) -> usize {
+        assert!(cost > 0, "column cost must be positive");
+        self.columns.push(Column { rows: BitSet::from_indices(self.num_rows, rows), cost });
+        self.columns.len() - 1
+    }
+
+    /// Adds a column from an already-built row set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != self.num_rows()` or `cost` is zero.
+    pub fn add_column_set(&mut self, rows: BitSet, cost: u64) -> usize {
+        assert!(cost > 0, "column cost must be positive");
+        assert_eq!(rows.len(), self.num_rows, "row set length mismatch");
+        self.columns.push(Column { rows, cost });
+        self.columns.len() - 1
+    }
+
+    /// The number of rows (elements).
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The number of columns (candidate sets).
+    #[must_use]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The cost of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn cost(&self, c: usize) -> u64 {
+        self.columns[c].cost
+    }
+
+    /// The row set of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn rows_of(&self, c: usize) -> &BitSet {
+        &self.columns[c].rows
+    }
+
+    /// Whether `columns` covers every row.
+    #[must_use]
+    pub fn is_cover(&self, columns: &[usize]) -> bool {
+        let mut covered = BitSet::new(self.num_rows);
+        for &c in columns {
+            covered.union_with(&self.columns[c].rows);
+        }
+        covered.count_ones() == self.num_rows
+    }
+
+    /// The total cost of a column selection.
+    #[must_use]
+    pub fn total_cost(&self, columns: &[usize]) -> u64 {
+        columns.iter().map(|&c| self.columns[c].cost).sum()
+    }
+
+    /// Whether some rows cannot be covered by any column (such instances
+    /// are infeasible).
+    #[must_use]
+    pub fn has_uncoverable_row(&self) -> bool {
+        let mut covered = BitSet::new(self.num_rows);
+        for col in &self.columns {
+            covered.union_with(&col.rows);
+        }
+        covered.count_ones() != self.num_rows
+    }
+
+    pub(crate) fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+}
+
+/// A covering solution: the chosen columns and their total cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverSolution {
+    /// Indices of selected columns, sorted.
+    pub columns: Vec<usize>,
+    /// Total cost of the selection.
+    pub cost: u64,
+    /// Whether the solver proved this selection optimal.
+    pub optimal: bool,
+}
+
+impl fmt::Display for CoverSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cover of cost {} using {} columns{}",
+            self.cost,
+            self.columns.len(),
+            if self.optimal { " (optimal)" } else { " (upper bound)" }
+        )
+    }
+}
+
+/// Resource budget for the covering solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum branch & bound nodes explored before giving up on proving
+    /// optimality.
+    pub max_nodes: u64,
+    /// Wall-clock budget for the exact solver, if any.
+    pub time_limit: Option<Duration>,
+    /// [`solve_auto`](crate::solve_auto) only attempts the exact solver when
+    /// the instance has at most this many columns.
+    pub max_exact_columns: usize,
+}
+
+impl Default for Limits {
+    /// A budget suited to interactive use: 2 million nodes, a 10-second
+    /// wall-clock cap, exact solving up to 20 000 columns.
+    fn default() -> Self {
+        Limits {
+            max_nodes: 2_000_000,
+            time_limit: Some(Duration::from_secs(10)),
+            max_exact_columns: 20_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut p = CoverProblem::new(4);
+        let a = p.add_column(&[0, 1], 2);
+        let b = p.add_column(&[2, 3], 2);
+        assert_eq!(p.num_rows(), 4);
+        assert_eq!(p.num_columns(), 2);
+        assert_eq!(p.cost(a), 2);
+        assert!(p.rows_of(b).get(3));
+        assert!(p.is_cover(&[a, b]));
+        assert!(!p.is_cover(&[a]));
+        assert_eq!(p.total_cost(&[a, b]), 4);
+    }
+
+    #[test]
+    fn uncoverable_detection() {
+        let mut p = CoverProblem::new(2);
+        p.add_column(&[0], 1);
+        assert!(p.has_uncoverable_row());
+        p.add_column(&[1], 1);
+        assert!(!p.has_uncoverable_row());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_rejected() {
+        let mut p = CoverProblem::new(1);
+        p.add_column(&[0], 0);
+    }
+
+    #[test]
+    fn solution_display() {
+        let s = CoverSolution { columns: vec![1, 2], cost: 5, optimal: true };
+        assert!(s.to_string().contains("optimal"));
+        let s = CoverSolution { columns: vec![], cost: 0, optimal: false };
+        assert!(s.to_string().contains("upper bound"));
+    }
+
+    #[test]
+    fn default_limits_are_sane() {
+        let l = Limits::default();
+        assert!(l.max_nodes > 0);
+        assert!(l.max_exact_columns > 0);
+        assert!(l.time_limit.is_some());
+    }
+}

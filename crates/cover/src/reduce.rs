@@ -1,0 +1,278 @@
+//! Classical covering-matrix reductions shared by the solvers.
+
+use crate::problem::CoverProblem;
+use crate::BitSet;
+
+/// A live view of a covering instance during search: which rows still need
+/// covering, which columns are still available, and what has been selected.
+#[derive(Clone, Debug)]
+pub(crate) struct State {
+    pub(crate) active_rows: BitSet,
+    pub(crate) active_cols: BitSet,
+    pub(crate) selected: Vec<usize>,
+    pub(crate) cost: u64,
+}
+
+impl State {
+    pub(crate) fn root(problem: &CoverProblem) -> State {
+        State {
+            active_rows: BitSet::all_ones(problem.num_rows()),
+            active_cols: BitSet::all_ones(problem.num_columns()),
+            selected: Vec::new(),
+            cost: 0,
+        }
+    }
+
+    /// Selects column `c`: accounts its cost and retires the rows it
+    /// covers.
+    pub(crate) fn select(&mut self, problem: &CoverProblem, c: usize) {
+        debug_assert!(self.active_cols.get(c));
+        self.selected.push(c);
+        self.cost += problem.cost(c);
+        self.active_rows.difference_with(problem.rows_of(c));
+        self.active_cols.set(c, false);
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.active_rows.none()
+    }
+}
+
+/// Precomputed row → covering columns adjacency.
+pub(crate) struct RowIndex {
+    pub(crate) row_cols: Vec<Vec<u32>>,
+}
+
+impl RowIndex {
+    pub(crate) fn build(problem: &CoverProblem) -> RowIndex {
+        let mut row_cols = vec![Vec::new(); problem.num_rows()];
+        for (c, col) in problem.columns().iter().enumerate() {
+            for r in col.rows.iter_ones() {
+                row_cols[r].push(c as u32);
+            }
+        }
+        RowIndex { row_cols }
+    }
+
+    /// The active columns covering row `r`.
+    pub(crate) fn active_cols_of(&self, state: &State, r: usize) -> Vec<u32> {
+        self.row_cols[r]
+            .iter()
+            .copied()
+            .filter(|&c| state.active_cols.get(c as usize))
+            .collect()
+    }
+}
+
+/// Selects every *essential* column (the only active column covering some
+/// active row) until none remains. Returns `false` if an active row has no
+/// active covering column (the subproblem is infeasible).
+pub(crate) fn select_essentials(problem: &CoverProblem, index: &RowIndex, state: &mut State) -> bool {
+    loop {
+        let mut changed = false;
+        for r in state.active_rows.clone().iter_ones() {
+            if !state.active_rows.get(r) {
+                continue; // retired by an essential selected this sweep
+            }
+            let cols = index.active_cols_of(state, r);
+            match cols.len() {
+                0 => return false,
+                1 => {
+                    state.select(problem, cols[0] as usize);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+/// Removes dominated rows: if every active column covering row `s` also
+/// covers row `r` (`cols(s) ⊆ cols(r)`), covering `s` necessarily covers
+/// `r`, so `r` can be dropped from the constraint set.
+pub(crate) fn remove_dominated_rows(index: &RowIndex, state: &mut State) {
+    let rows: Vec<usize> = state.active_rows.iter_ones().collect();
+    let col_sets: Vec<Vec<u32>> = rows.iter().map(|&r| index.active_cols_of(state, r)).collect();
+    for (i, &r) in rows.iter().enumerate() {
+        for (j, &s) in rows.iter().enumerate() {
+            if i == j || !state.active_rows.get(r) || !state.active_rows.get(s) {
+                continue;
+            }
+            // r dominated by s: col_sets[j] ⊆ col_sets[i], tie-broken by
+            // index to avoid deleting both of two identical rows.
+            if col_sets[j].len() <= col_sets[i].len()
+                && (col_sets[j].len() < col_sets[i].len() || j < i)
+                && is_sorted_subset(&col_sets[j], &col_sets[i])
+            {
+                state.active_rows.set(r, false);
+            }
+        }
+    }
+}
+
+/// Removes dominated columns: if `rows(b) ∩ active ⊆ rows(a) ∩ active` and
+/// `cost(a) ≤ cost(b)`, column `b` never beats `a` and is dropped.
+pub(crate) fn remove_dominated_cols(problem: &CoverProblem, state: &mut State) {
+    let cols: Vec<usize> = state.active_cols.iter_ones().collect();
+    let masked: Vec<BitSet> = cols
+        .iter()
+        .map(|&c| {
+            let mut s = problem.rows_of(c).clone();
+            s.intersect_with(&state.active_rows);
+            s
+        })
+        .collect();
+    for (bi, &b) in cols.iter().enumerate() {
+        if masked[bi].none() {
+            state.active_cols.set(b, false);
+            continue;
+        }
+        for (ai, &a) in cols.iter().enumerate() {
+            if ai == bi || !state.active_cols.get(a) || !state.active_cols.get(b) {
+                continue;
+            }
+            let dominates = problem.cost(a) <= problem.cost(b)
+                && masked[bi].is_subset_of(&masked[ai])
+                // Strictness or index tie-break so identical columns don't
+                // eliminate each other.
+                && (problem.cost(a) < problem.cost(b)
+                    || masked[bi].count_ones() < masked[ai].count_ones()
+                    || ai < bi);
+            if dominates {
+                state.active_cols.set(b, false);
+                break;
+            }
+        }
+    }
+}
+
+fn is_sorted_subset(small: &[u32], big: &[u32]) -> bool {
+    let mut it = big.iter();
+    'outer: for x in small {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// An additive lower bound on the cost of covering the remaining rows: a
+/// maximal set of pairwise column-disjoint rows, each contributing the cost
+/// of its cheapest covering column.
+pub(crate) fn lower_bound(problem: &CoverProblem, index: &RowIndex, state: &State) -> u64 {
+    let mut used_cols = BitSet::new(problem.num_columns());
+    let mut bound = 0u64;
+    // Visit rows with fewer covering columns first: they are the most
+    // constrained and give the tightest independent set.
+    let mut rows: Vec<(usize, Vec<u32>)> = state
+        .active_rows
+        .iter_ones()
+        .map(|r| (r, index.active_cols_of(state, r)))
+        .collect();
+    rows.sort_by_key(|(_, cols)| cols.len());
+    for (_, cols) in rows {
+        if cols.iter().any(|&c| used_cols.get(c as usize)) {
+            continue;
+        }
+        let min_cost = cols.iter().map(|&c| problem.cost(c as usize)).min().unwrap_or(0);
+        bound += min_cost;
+        for c in cols {
+            used_cols.set(c as usize, true);
+        }
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> CoverProblem {
+        let mut p = CoverProblem::new(4);
+        p.add_column(&[0, 1], 2); // 0
+        p.add_column(&[1, 2], 2); // 1
+        p.add_column(&[3], 1); // 2
+        p.add_column(&[2, 3], 5); // 3
+        p
+    }
+
+    #[test]
+    fn essentials_select_forced_columns() {
+        let p = problem();
+        let index = RowIndex::build(&p);
+        let mut st = State::root(&p);
+        assert!(select_essentials(&p, &index, &mut st));
+        // Row 0 is only covered by column 0: forced.
+        assert!(st.selected.contains(&0));
+    }
+
+    #[test]
+    fn essentials_detect_infeasible() {
+        let mut p = CoverProblem::new(2);
+        p.add_column(&[0], 1);
+        let index = RowIndex::build(&p);
+        let mut st = State::root(&p);
+        assert!(!select_essentials(&p, &index, &mut st));
+    }
+
+    #[test]
+    fn row_dominance_drops_superset_rows() {
+        // Row 1 is covered by columns {0,1}; row 0 by {0} only.
+        let mut p = CoverProblem::new(2);
+        p.add_column(&[0, 1], 1);
+        p.add_column(&[1], 1);
+        let index = RowIndex::build(&p);
+        let mut st = State::root(&p);
+        remove_dominated_rows(&index, &mut st);
+        assert!(st.active_rows.get(0));
+        assert!(!st.active_rows.get(1)); // covering row 0 covers row 1
+    }
+
+    #[test]
+    fn col_dominance_drops_worse_columns() {
+        let mut p = CoverProblem::new(2);
+        p.add_column(&[0, 1], 2); // dominates
+        p.add_column(&[0], 2); // dominated: fewer rows, same cost
+        p.add_column(&[0, 1], 9); // dominated: same rows, higher cost
+        let mut st = State::root(&p);
+        remove_dominated_cols(&p, &mut st);
+        assert!(st.active_cols.get(0));
+        assert!(!st.active_cols.get(1));
+        assert!(!st.active_cols.get(2));
+    }
+
+    #[test]
+    fn identical_columns_keep_one() {
+        let mut p = CoverProblem::new(1);
+        p.add_column(&[0], 1);
+        p.add_column(&[0], 1);
+        let mut st = State::root(&p);
+        remove_dominated_cols(&p, &mut st);
+        assert_eq!(st.active_cols.count_ones(), 1);
+    }
+
+    #[test]
+    fn lower_bound_is_sound_on_disjoint_rows() {
+        let mut p = CoverProblem::new(2);
+        p.add_column(&[0], 3);
+        p.add_column(&[1], 4);
+        let index = RowIndex::build(&p);
+        let st = State::root(&p);
+        assert_eq!(lower_bound(&p, &index, &st), 7);
+    }
+
+    #[test]
+    fn sorted_subset_helper() {
+        assert!(is_sorted_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_sorted_subset(&[1, 4], &[0, 1, 2, 3]));
+        assert!(is_sorted_subset(&[], &[5]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the covering solvers against brute force.
+
+use proptest::prelude::*;
+use spp_cover::{solve_auto, solve_exact, solve_greedy, CoverProblem, Limits};
+
+#[derive(Clone, Debug)]
+struct Instance {
+    rows: usize,
+    columns: Vec<(Vec<usize>, u64)>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (1usize..=7).prop_flat_map(|rows| {
+        let column = (
+            proptest::collection::btree_set(0..rows, 1..=rows),
+            1u64..=6,
+        )
+            .prop_map(|(set, cost)| (set.into_iter().collect::<Vec<_>>(), cost));
+        proptest::collection::vec(column, 1..=10)
+            .prop_map(move |columns| Instance { rows, columns })
+    })
+}
+
+fn build(inst: &Instance) -> CoverProblem {
+    let mut p = CoverProblem::new(inst.rows);
+    for (rows, cost) in &inst.columns {
+        p.add_column(rows, *cost);
+    }
+    p
+}
+
+fn brute_force(p: &CoverProblem) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    for mask in 0u32..(1 << p.num_columns()) {
+        let cols: Vec<usize> =
+            (0..p.num_columns()).filter(|&c| mask >> c & 1 == 1).collect();
+        if p.is_cover(&cols) {
+            let cost = p.total_cost(&cols);
+            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_produces_a_cover(inst in instance_strategy()) {
+        let p = build(&inst);
+        prop_assume!(!p.has_uncoverable_row());
+        let sol = solve_greedy(&p);
+        prop_assert!(p.is_cover(&sol.columns));
+        prop_assert_eq!(sol.cost, p.total_cost(&sol.columns));
+    }
+
+    #[test]
+    fn exact_matches_brute_force(inst in instance_strategy()) {
+        let p = build(&inst);
+        prop_assume!(!p.has_uncoverable_row());
+        let sol = solve_exact(&p, &Limits::default(), None);
+        prop_assert!(p.is_cover(&sol.columns));
+        prop_assert!(sol.optimal);
+        prop_assert_eq!(Some(sol.cost), brute_force(&p));
+    }
+
+    #[test]
+    fn exact_never_worse_than_greedy(inst in instance_strategy()) {
+        let p = build(&inst);
+        prop_assume!(!p.has_uncoverable_row());
+        let greedy = solve_greedy(&p);
+        let exact = solve_exact(&p, &Limits::default(), Some(&greedy));
+        prop_assert!(exact.cost <= greedy.cost);
+    }
+
+    #[test]
+    fn auto_is_a_valid_cover_under_any_budget(inst in instance_strategy(), nodes in 1u64..100) {
+        let p = build(&inst);
+        prop_assume!(!p.has_uncoverable_row());
+        let limits = Limits { max_nodes: nodes, ..Limits::default() };
+        let sol = solve_auto(&p, &limits);
+        prop_assert!(p.is_cover(&sol.columns));
+        if sol.optimal {
+            prop_assert_eq!(Some(sol.cost), brute_force(&p));
+        }
+    }
+
+    #[test]
+    fn selections_have_no_duplicates(inst in instance_strategy()) {
+        let p = build(&inst);
+        prop_assume!(!p.has_uncoverable_row());
+        for sol in [solve_greedy(&p), solve_exact(&p, &Limits::default(), None)] {
+            let mut cols = sol.columns.clone();
+            cols.dedup();
+            prop_assert_eq!(cols.len(), sol.columns.len());
+        }
+    }
+}

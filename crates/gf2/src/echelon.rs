@@ -1,0 +1,424 @@
+//! Reduced echelon bases of linear subspaces of GF(2)^n.
+
+use std::fmt;
+
+use crate::Gf2Vec;
+
+/// A linear subspace of GF(2)^n in *reduced echelon form*.
+///
+/// Each basis row has a distinct *pivot*: its lowest set bit. Pivots are kept
+/// strictly increasing and every pivot column is zero in all other rows.
+/// This normal form is unique per subspace, so `EchelonBasis` equality is
+/// subspace equality, and hashing a basis hashes the subspace.
+///
+/// In SPP terms (Ciriani, DAC 2001): a pseudocube is an affine subspace
+/// `rep ⊕ W`; this type represents `W`, its pivots are the paper's
+/// **canonical variables**, and the basis itself is the pseudocube's
+/// **structure** (Definition 2) — two pseudocubes can be united into a larger
+/// pseudocube iff their `EchelonBasis` are equal (Theorem 1).
+///
+/// # Examples
+///
+/// ```
+/// use spp_gf2::{EchelonBasis, Gf2Vec};
+///
+/// let mut w = EchelonBasis::new(4);
+/// assert!(w.insert(Gf2Vec::from_bit_str("0110").unwrap()));
+/// assert!(w.insert(Gf2Vec::from_bit_str("1010").unwrap()));
+/// assert!(!w.insert(Gf2Vec::from_bit_str("1100").unwrap())); // dependent
+/// assert_eq!(w.dim(), 2);
+/// assert_eq!(w.pivots(), &[0, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EchelonBasis {
+    n: u16,
+    rows: Vec<Gf2Vec>,
+    pivots: Vec<u16>,
+}
+
+impl EchelonBasis {
+    /// Creates the zero subspace of GF(2)^n.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_BITS`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n <= crate::MAX_BITS, "dimension {n} exceeds {}", crate::MAX_BITS);
+        EchelonBasis { n: n as u16, rows: Vec::new(), pivots: Vec::new() }
+    }
+
+    /// Builds the subspace spanned by `vectors`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector has length other than `n`.
+    #[must_use]
+    pub fn from_span(n: usize, vectors: &[Gf2Vec]) -> Self {
+        let mut basis = Self::new(n);
+        for &v in vectors {
+            basis.insert(v);
+        }
+        basis
+    }
+
+    /// The ambient dimension `n`.
+    #[must_use]
+    pub fn ambient_dim(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The dimension `m` of the subspace (number of basis rows).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The basis rows, in pivot order.
+    #[must_use]
+    pub fn rows(&self) -> &[Gf2Vec] {
+        &self.rows
+    }
+
+    /// The pivot positions (the paper's canonical variables), strictly
+    /// increasing. `pivots()[j]` is the pivot of `rows()[j]`.
+    #[must_use]
+    pub fn pivots(&self) -> &[u16] {
+        &self.pivots
+    }
+
+    /// Whether variable `i` is a pivot (canonical) position.
+    #[must_use]
+    pub fn is_pivot(&self, i: usize) -> bool {
+        self.pivots.binary_search(&(i as u16)).is_ok()
+    }
+
+    /// Reduces `v` modulo the subspace: XORs away every basis row whose
+    /// pivot is set in `v`. The result has zeros at all pivot positions and
+    /// is the canonical coset representative of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.ambient_dim()`.
+    #[must_use]
+    pub fn reduce(&self, mut v: Gf2Vec) -> Gf2Vec {
+        assert_eq!(v.len(), self.ambient_dim(), "vector length must match ambient dim");
+        for (row, &p) in self.rows.iter().zip(self.pivots.iter()) {
+            if v.get(p as usize) {
+                v ^= *row;
+            }
+        }
+        v
+    }
+
+    /// Whether `v` belongs to the subspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.ambient_dim()`.
+    #[must_use]
+    pub fn contains(&self, v: &Gf2Vec) -> bool {
+        self.reduce(*v).is_zero()
+    }
+
+    /// Inserts `v` into the basis. Returns `true` if `v` was independent
+    /// (the dimension grew), `false` if it was already in the span.
+    ///
+    /// The reduced echelon invariant is restored after insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.ambient_dim()`.
+    pub fn insert(&mut self, v: Gf2Vec) -> bool {
+        let reduced = self.reduce(v);
+        let Some(p) = reduced.lowest_set_bit() else {
+            return false;
+        };
+        // Clear the new pivot column in existing rows.
+        for row in self.rows.iter_mut() {
+            if row.get(p) {
+                *row ^= reduced;
+            }
+        }
+        let pos = self.pivots.partition_point(|&q| (q as usize) < p);
+        self.rows.insert(pos, reduced);
+        self.pivots.insert(pos, p as u16);
+        true
+    }
+
+    /// Returns the subspace extended by `v`, or `None` if `v` is already in
+    /// the span (so the extension would not grow the dimension).
+    #[must_use]
+    pub fn extended(&self, v: Gf2Vec) -> Option<EchelonBasis> {
+        let mut bigger = self.clone();
+        bigger.insert(v).then_some(bigger)
+    }
+
+    /// Whether `self` is a subspace of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ambient dimensions differ.
+    #[must_use]
+    pub fn is_subspace_of(&self, other: &EchelonBasis) -> bool {
+        assert_eq!(self.n, other.n, "ambient dimensions must match");
+        self.rows.iter().all(|r| other.contains(r))
+    }
+
+    /// Iterates over all `2^m` members of the coset `rep ⊕ W` in Gray-code
+    /// order (each step flips by a single basis row), starting from `rep`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rep.len() != self.ambient_dim()` or if the subspace
+    /// dimension exceeds 63 (such cosets cannot be materialized anyway).
+    #[must_use]
+    pub fn coset_iter(&self, rep: Gf2Vec) -> CosetIter<'_> {
+        assert_eq!(rep.len(), self.ambient_dim(), "rep length must match ambient dim");
+        assert!(self.dim() <= 63, "coset of dimension {} is too large to enumerate", self.dim());
+        CosetIter { basis: self, current: rep, index: 0 }
+    }
+
+    /// Enumerates all `2^m − 1` hyperplane subspaces (dimension `m − 1`) of
+    /// this subspace, per Theorem 2 of the paper.
+    ///
+    /// Each [`Hyperplane`] carries the sub-basis `W'` and an `offset` vector
+    /// in `W ∖ W'`, so the two cosets of `W'` inside a coset `rep ⊕ W` are
+    /// `rep' ⊕ W'` and `(rep' ⊕ offset) ⊕ W'`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subspace dimension exceeds 30 (the enumeration would
+    /// not fit in memory).
+    #[must_use]
+    pub fn hyperplanes(&self) -> Vec<Hyperplane> {
+        let m = self.dim();
+        assert!(m <= 30, "hyperplane enumeration of dimension {m} is too large");
+        let mut out = Vec::new();
+        if m == 0 {
+            return out;
+        }
+        // Each hyperplane of W is the kernel of a nonzero functional c on
+        // the coordinates over the basis rows.
+        for c in 1u64..(1 << m) {
+            let j0 = c.trailing_zeros() as usize;
+            let mut sub = EchelonBasis::new(self.ambient_dim());
+            for j in 0..m {
+                if j == j0 {
+                    continue;
+                }
+                let mut v = self.rows[j];
+                if (c >> j) & 1 == 1 {
+                    v ^= self.rows[j0];
+                }
+                sub.insert(v);
+            }
+            debug_assert_eq!(sub.dim(), m - 1);
+            out.push(Hyperplane { basis: sub, offset: self.rows[j0] });
+        }
+        out
+    }
+}
+
+impl fmt::Debug for EchelonBasis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EchelonBasis(n={}, dim={})", self.n, self.dim())?;
+        for row in &self.rows {
+            write!(f, " {row}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for EchelonBasis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rows.is_empty() {
+            return write!(f, "{{0}}");
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A hyperplane subspace of an [`EchelonBasis`], produced by
+/// [`EchelonBasis::hyperplanes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hyperplane {
+    /// The (m−1)-dimensional subspace `W' ⊂ W`.
+    pub basis: EchelonBasis,
+    /// A vector of `W ∖ W'` separating the two cosets of `W'` inside `W`.
+    pub offset: Gf2Vec,
+}
+
+/// Iterator over the members of a coset, produced by
+/// [`EchelonBasis::coset_iter`].
+#[derive(Clone, Debug)]
+pub struct CosetIter<'a> {
+    basis: &'a EchelonBasis,
+    current: Gf2Vec,
+    index: u64,
+}
+
+impl Iterator for CosetIter<'_> {
+    type Item = Gf2Vec;
+
+    fn next(&mut self) -> Option<Gf2Vec> {
+        let total = 1u64 << self.basis.dim();
+        if self.index >= total {
+            return None;
+        }
+        let out = self.current;
+        self.index += 1;
+        if self.index < total {
+            // Gray code: flip the basis row indexed by the changing bit.
+            let gray_prev = (self.index - 1) ^ ((self.index - 1) >> 1);
+            let gray_next = self.index ^ (self.index >> 1);
+            let flip = (gray_prev ^ gray_next).trailing_zeros() as usize;
+            self.current ^= self.basis.rows[flip];
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = ((1u64 << self.basis.dim()) - self.index) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for CosetIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Gf2Vec {
+        Gf2Vec::from_bit_str(s).unwrap()
+    }
+
+    #[test]
+    fn paper_figure1_pivots_are_canonical_variables() {
+        // Direction space of the pseudocube of Figure 1: differences of the
+        // rows span {000011, 001100, 100101}.
+        let w = EchelonBasis::from_span(6, &[v("000011"), v("001100"), v("100101")]);
+        assert_eq!(w.dim(), 3);
+        assert_eq!(w.pivots(), &[0, 2, 4]); // canonical columns c0, c2, c4
+    }
+
+    #[test]
+    fn insert_reports_dependence() {
+        let mut w = EchelonBasis::new(3);
+        assert!(w.insert(v("110")));
+        assert!(w.insert(v("011")));
+        assert!(!w.insert(v("101")));
+        assert_eq!(w.dim(), 2);
+    }
+
+    #[test]
+    fn zero_vector_never_inserts() {
+        let mut w = EchelonBasis::new(3);
+        assert!(!w.insert(v("000")));
+        assert_eq!(w.dim(), 0);
+    }
+
+    #[test]
+    fn reduced_form_is_unique() {
+        // Same subspace from different spanning sets must normalize equal.
+        let a = EchelonBasis::from_span(4, &[v("1100"), v("0110")]);
+        let b = EchelonBasis::from_span(4, &[v("1010"), v("0110")]);
+        assert_eq!(a, b);
+        // Pivot columns are zero in all other rows.
+        for (i, &p) in a.pivots().iter().enumerate() {
+            for (j, row) in a.rows().iter().enumerate() {
+                assert_eq!(row.get(p as usize), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_clears_pivot_positions() {
+        let w = EchelonBasis::from_span(4, &[v("1100"), v("0110")]);
+        let r = w.reduce(v("1111"));
+        for &p in w.pivots() {
+            assert!(!r.get(p as usize));
+        }
+        // Reduction is idempotent.
+        assert_eq!(w.reduce(r), r);
+    }
+
+    #[test]
+    fn contains_span_members() {
+        let w = EchelonBasis::from_span(4, &[v("1100"), v("0110")]);
+        assert!(w.contains(&v("1010")));
+        assert!(w.contains(&v("0000")));
+        assert!(!w.contains(&v("0001")));
+    }
+
+    #[test]
+    fn extended_grows_or_rejects() {
+        let w = EchelonBasis::from_span(4, &[v("1100")]);
+        assert!(w.extended(v("1100")).is_none());
+        let bigger = w.extended(v("0011")).unwrap();
+        assert_eq!(bigger.dim(), 2);
+        assert!(w.is_subspace_of(&bigger));
+        assert!(!bigger.is_subspace_of(&w));
+    }
+
+    #[test]
+    fn coset_iter_yields_all_members_once() {
+        let w = EchelonBasis::from_span(4, &[v("1100"), v("0011")]);
+        let rep = v("0100");
+        let members: Vec<_> = w.coset_iter(rep).collect();
+        assert_eq!(members.len(), 4);
+        let mut unique = members.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+        for p in &members {
+            assert!(w.contains(&(*p ^ rep)));
+        }
+    }
+
+    #[test]
+    fn coset_iter_of_zero_space_is_singleton() {
+        let w = EchelonBasis::new(3);
+        let members: Vec<_> = w.coset_iter(v("101")).collect();
+        assert_eq!(members, vec![v("101")]);
+    }
+
+    #[test]
+    fn hyperplanes_count_and_structure() {
+        let w = EchelonBasis::from_span(5, &[v("11000"), v("00110"), v("00001")]);
+        let hs = w.hyperplanes();
+        assert_eq!(hs.len(), 7); // 2^3 - 1
+        let mut seen = std::collections::HashSet::new();
+        for h in &hs {
+            assert_eq!(h.basis.dim(), 2);
+            assert!(h.basis.is_subspace_of(&w));
+            assert!(w.contains(&h.offset));
+            assert!(!h.basis.contains(&h.offset));
+            assert!(seen.insert(h.basis.clone()), "hyperplanes must be distinct");
+        }
+    }
+
+    #[test]
+    fn hyperplanes_of_zero_and_line() {
+        assert!(EchelonBasis::new(4).hyperplanes().is_empty());
+        let line = EchelonBasis::from_span(4, &[v("1010")]);
+        let hs = line.hyperplanes();
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].basis.dim(), 0);
+        assert_eq!(hs[0].offset, v("1010"));
+    }
+
+    #[test]
+    fn display_debug_nonempty() {
+        let w = EchelonBasis::new(4);
+        assert_eq!(w.to_string(), "{0}");
+        assert!(format!("{w:?}").contains("dim=0"));
+    }
+}

@@ -1,0 +1,40 @@
+//! GF(2) bit-vectors and linear algebra for SPP logic minimization.
+//!
+//! This crate is the mathematical substrate of the `spp` workspace. It
+//! provides:
+//!
+//! - [`Gf2Vec`]: a fixed-capacity (≤ [`MAX_BITS`] bits), `Copy` bit-vector
+//!   interpreted as a vector over GF(2). Points of the Boolean space `B^n`,
+//!   EXOR-factor variable sets and complementation vectors are all `Gf2Vec`s.
+//! - [`Gf2Mat`]: a dense matrix over GF(2) with Gaussian elimination.
+//! - [`EchelonBasis`]: the workhorse of the SPP algorithms — a *reduced
+//!   echelon* basis of a linear subspace of GF(2)^n, with pivots chosen as
+//!   the lowest set index of each basis row. A pseudocube of degree `m`
+//!   (Ciriani, DAC 2001) is exactly an affine subspace `rep ⊕ W`, and its
+//!   *structure* is `W`; `EchelonBasis` is the unique normal form of `W`,
+//!   and its pivots are the paper's *canonical variables*.
+//!
+//! # Examples
+//!
+//! ```
+//! use spp_gf2::{Gf2Vec, EchelonBasis};
+//!
+//! // The direction space of the pseudocube of Figure 1 of the paper.
+//! let mut basis = EchelonBasis::new(6);
+//! basis.insert(Gf2Vec::from_index_bits(6, &[4, 5]));
+//! basis.insert(Gf2Vec::from_index_bits(6, &[2, 3]));
+//! basis.insert(Gf2Vec::from_index_bits(6, &[0, 3, 5]));
+//! // Canonical variables are x0, x2 and x4, as in the paper.
+//! assert_eq!(basis.pivots(), &[0, 2, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod echelon;
+mod mat;
+mod vec;
+
+pub use echelon::{CosetIter, EchelonBasis, Hyperplane};
+pub use mat::Gf2Mat;
+pub use vec::{Gf2Vec, OnesIter, MAX_BITS};

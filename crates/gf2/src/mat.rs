@@ -1,0 +1,232 @@
+//! Dense matrices over GF(2).
+
+use std::fmt;
+
+use crate::Gf2Vec;
+
+/// A dense matrix over GF(2), stored as a list of row vectors of equal
+/// length.
+///
+/// `Gf2Mat` provides the generic Gaussian-elimination machinery (rank,
+/// reduced row echelon form) used by tests and by the benchmark generators;
+/// the minimization algorithms themselves use the incremental
+/// [`EchelonBasis`](crate::EchelonBasis) instead.
+///
+/// # Examples
+///
+/// ```
+/// use spp_gf2::{Gf2Mat, Gf2Vec};
+///
+/// let m = Gf2Mat::from_rows(vec![
+///     Gf2Vec::from_bit_str("110").unwrap(),
+///     Gf2Vec::from_bit_str("011").unwrap(),
+///     Gf2Vec::from_bit_str("101").unwrap(), // = row0 + row1
+/// ]);
+/// assert_eq!(m.rank(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Gf2Mat {
+    rows: Vec<Gf2Vec>,
+    ncols: usize,
+}
+
+impl Gf2Mat {
+    /// Creates an empty matrix with `ncols` columns and no rows.
+    #[must_use]
+    pub fn new(ncols: usize) -> Self {
+        Gf2Mat { rows: Vec::new(), ncols }
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Gf2Vec>) -> Self {
+        let ncols = rows.first().map_or(0, Gf2Vec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == ncols),
+            "rows must all have the same length"
+        );
+        Gf2Mat { rows, ncols }
+    }
+
+    /// The number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The rows of the matrix.
+    #[must_use]
+    pub fn rows(&self) -> &[Gf2Vec] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.ncols()`.
+    pub fn push_row(&mut self, row: Gf2Vec) {
+        assert_eq!(row.len(), self.ncols, "row length must match ncols");
+        self.rows.push(row);
+    }
+
+    /// Returns the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.rows[row].get(col)
+    }
+
+    /// The rank of the matrix over GF(2).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.clone().into_rref().0.nrows()
+    }
+
+    /// Reduces the matrix to reduced row echelon form (pivot = lowest set
+    /// index of each row, pivots strictly increasing, zero rows dropped).
+    ///
+    /// Returns the reduced matrix together with the pivot column of each
+    /// remaining row.
+    #[must_use]
+    pub fn into_rref(self) -> (Gf2Mat, Vec<usize>) {
+        let mut kept: Vec<Gf2Vec> = Vec::new();
+        let mut pivots: Vec<usize> = Vec::new();
+        for mut row in self.rows {
+            // Eliminate existing pivots from the candidate row.
+            for (r, &p) in kept.iter().zip(pivots.iter()) {
+                if row.get(p) {
+                    row ^= *r;
+                }
+            }
+            if let Some(p) = row.lowest_set_bit() {
+                // Back-substitute into previous rows.
+                for r in kept.iter_mut() {
+                    if r.get(p) {
+                        *r ^= row;
+                    }
+                }
+                // Insert keeping pivots sorted.
+                let pos = pivots.partition_point(|&q| q < p);
+                kept.insert(pos, row);
+                pivots.insert(pos, p);
+            }
+        }
+        (Gf2Mat { rows: kept, ncols: self.ncols }, pivots)
+    }
+
+    /// Multiplies the matrix by a vector: `self * v` (rows dot `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.ncols()`.
+    #[must_use]
+    pub fn mul_vec(&self, v: &Gf2Vec) -> Gf2Vec {
+        assert_eq!(v.len(), self.ncols, "vector length must match ncols");
+        let mut out = Gf2Vec::zeros(self.nrows());
+        for (i, row) in self.rows.iter().enumerate() {
+            out.set(i, (*row & *v).count_ones() % 2 == 1);
+        }
+        out
+    }
+
+    /// The transpose of the matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Gf2Mat {
+        let mut t = Gf2Mat::new(self.nrows());
+        for c in 0..self.ncols {
+            let mut row = Gf2Vec::zeros(self.nrows());
+            for (r, src) in self.rows.iter().enumerate() {
+                row.set(r, src.get(c));
+            }
+            t.push_row(row);
+        }
+        t
+    }
+}
+
+impl fmt::Display for Gf2Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&str]) -> Gf2Mat {
+        Gf2Mat::from_rows(
+            rows.iter()
+                .map(|s| Gf2Vec::from_bit_str(s).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn rank_of_identity() {
+        assert_eq!(m(&["100", "010", "001"]).rank(), 3);
+    }
+
+    #[test]
+    fn rank_with_dependent_rows() {
+        assert_eq!(m(&["110", "011", "101"]).rank(), 2);
+        assert_eq!(m(&["000", "000"]).rank(), 0);
+    }
+
+    #[test]
+    fn rref_pivots_increasing_and_reduced() {
+        let (r, pivots) = m(&["0110", "1100", "1010"]).into_rref();
+        assert_eq!(pivots, vec![0, 1]);
+        // Each pivot column has a single one.
+        for (i, &p) in pivots.iter().enumerate() {
+            for (j, row) in r.rows().iter().enumerate() {
+                assert_eq!(row.get(p), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_parity() {
+        let a = m(&["110", "011"]);
+        let v = Gf2Vec::from_bit_str("111").unwrap();
+        assert_eq!(a.mul_vec(&v).to_string(), "00");
+        let v = Gf2Vec::from_bit_str("100").unwrap();
+        assert_eq!(a.mul_vec(&v).to_string(), "10");
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(&["110", "011"]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().nrows(), 3);
+        assert_eq!(a.transpose().ncols(), 2);
+    }
+
+    #[test]
+    fn display_shows_rows() {
+        assert_eq!(m(&["10", "01"]).to_string(), "10\n01\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mixed_row_lengths_panic() {
+        let _ = Gf2Mat::from_rows(vec![Gf2Vec::zeros(3), Gf2Vec::zeros(4)]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the GF(2) algebra.
+
+use proptest::prelude::*;
+use spp_gf2::{EchelonBasis, Gf2Mat, Gf2Vec};
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Gf2Vec> {
+    (0u64..(1u64 << n)).prop_map(move |bits| Gf2Vec::from_u64(n, bits))
+}
+
+fn span_strategy() -> impl Strategy<Value = (usize, Vec<Gf2Vec>)> {
+    (2usize..=8).prop_flat_map(|n| {
+        proptest::collection::vec(vec_strategy(n), 0..=4).prop_map(move |vs| (n, vs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn xor_is_associative_and_commutative((n, vs) in span_strategy()) {
+        prop_assume!(vs.len() >= 3);
+        let (a, b, c) = (vs[0], vs[1], vs[2]);
+        prop_assert_eq!(a ^ b, b ^ a);
+        prop_assert_eq!((a ^ b) ^ c, a ^ (b ^ c));
+        prop_assert_eq!(a ^ a, Gf2Vec::zeros(n));
+        prop_assert_eq!(a ^ Gf2Vec::zeros(n), a);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_display((_, vs) in span_strategy()) {
+        let mut sorted = vs.clone();
+        sorted.sort();
+        // Row order = binary value with x0 most significant = lexicographic
+        // on the display string.
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].to_string() <= w[1].to_string());
+        }
+    }
+
+    #[test]
+    fn echelon_basis_is_span_invariant((n, vs) in span_strategy()) {
+        let forward = EchelonBasis::from_span(n, &vs);
+        let mut reversed = vs.clone();
+        reversed.reverse();
+        let backward = EchelonBasis::from_span(n, &reversed);
+        prop_assert_eq!(&forward, &backward);
+        // Sums of pairs don't change the span either.
+        let mut mixed = vs.clone();
+        if vs.len() >= 2 {
+            mixed.push(vs[0] ^ vs[1]);
+        }
+        prop_assert_eq!(&forward, &EchelonBasis::from_span(n, &mixed));
+    }
+
+    #[test]
+    fn reduce_is_idempotent_and_canonical((n, vs) in span_strategy(), probe in 0u64..256) {
+        let basis = EchelonBasis::from_span(n, &vs);
+        let v = Gf2Vec::from_u64(n, probe & ((1 << n) - 1));
+        let r = basis.reduce(v);
+        prop_assert_eq!(basis.reduce(r), r);
+        // v and its reduction are congruent modulo the subspace.
+        prop_assert!(basis.contains(&(v ^ r)));
+        // The reduction has zeros at every pivot.
+        for &p in basis.pivots() {
+            prop_assert!(!r.get(p as usize));
+        }
+    }
+
+    #[test]
+    fn membership_matches_explicit_span((n, vs) in span_strategy(), probe in 0u64..256) {
+        let basis = EchelonBasis::from_span(n, &vs);
+        let v = Gf2Vec::from_u64(n, probe & ((1 << n) - 1));
+        // Explicit span: all 2^k combinations of the original vectors.
+        prop_assume!(vs.len() <= 4);
+        let mut in_span = false;
+        for mask in 0u32..(1 << vs.len()) {
+            let mut acc = Gf2Vec::zeros(n);
+            for (i, w) in vs.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    acc ^= *w;
+                }
+            }
+            if acc == v {
+                in_span = true;
+                break;
+            }
+        }
+        prop_assert_eq!(basis.contains(&v), in_span);
+    }
+
+    #[test]
+    fn coset_iter_yields_distinct_members((n, vs) in span_strategy(), rep in 0u64..256) {
+        let basis = EchelonBasis::from_span(n, &vs);
+        let rep = Gf2Vec::from_u64(n, rep & ((1 << n) - 1));
+        let members: Vec<Gf2Vec> = basis.coset_iter(rep).collect();
+        prop_assert_eq!(members.len(), 1 << basis.dim());
+        let unique: std::collections::HashSet<_> = members.iter().collect();
+        prop_assert_eq!(unique.len(), members.len());
+        for m in &members {
+            prop_assert!(basis.contains(&(*m ^ rep)));
+        }
+    }
+
+    #[test]
+    fn hyperplane_family_is_complete((n, vs) in span_strategy()) {
+        let basis = EchelonBasis::from_span(n, &vs);
+        let m = basis.dim();
+        let hs = basis.hyperplanes();
+        prop_assert_eq!(hs.len(), (1usize << m).saturating_sub(1));
+        let distinct: std::collections::HashSet<_> =
+            hs.iter().map(|h| h.basis.clone()).collect();
+        prop_assert_eq!(distinct.len(), hs.len());
+        for h in &hs {
+            prop_assert_eq!(h.basis.dim() + 1, m);
+            prop_assert!(h.basis.is_subspace_of(&basis));
+            prop_assert!(basis.contains(&h.offset));
+            prop_assert!(!h.basis.contains(&h.offset));
+        }
+    }
+
+    #[test]
+    fn matrix_rank_equals_basis_dim((n, vs) in span_strategy()) {
+        let basis = EchelonBasis::from_span(n, &vs);
+        let mat = Gf2Mat::from_rows(vs);
+        prop_assert_eq!(mat.rank(), basis.dim());
+    }
+
+    #[test]
+    fn rref_is_idempotent((_, vs) in span_strategy()) {
+        prop_assume!(!vs.is_empty());
+        let (r1, p1) = Gf2Mat::from_rows(vs).into_rref();
+        let (r2, p2) = r1.clone().into_rref();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,373 @@
+//! A BLIF reader: parses `.model` files with `.names` logic blocks back
+//! into a [`Netlist`], closing the loop with [`Netlist::to_blif`].
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{Netlist, SignalId};
+
+/// Error returned by [`Netlist::from_blif`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseBlifError {
+    /// A line could not be interpreted.
+    Syntax {
+        /// One-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A `.names` block references a signal that is never defined, or the
+    /// blocks form a combinational cycle.
+    Unresolved {
+        /// The offending signal name.
+        name: String,
+    },
+    /// An output was declared but never defined.
+    UndefinedOutput {
+        /// The output name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBlifError::Syntax { line, message } => {
+                write!(f, "BLIF syntax error on line {line}: {message}")
+            }
+            ParseBlifError::Unresolved { name } => {
+                write!(f, "signal {name:?} is undefined or part of a cycle")
+            }
+            ParseBlifError::UndefinedOutput { name } => {
+                write!(f, "output {name:?} has no defining .names block")
+            }
+        }
+    }
+}
+
+impl Error for ParseBlifError {}
+
+#[derive(Debug)]
+struct NamesBlock {
+    inputs: Vec<String>,
+    output: String,
+    /// (input pattern over {0,1,-}, output value)
+    rows: Vec<(String, bool)>,
+}
+
+impl Netlist {
+    /// Parses a BLIF `.model` into a netlist.
+    ///
+    /// Supported subset: `.model`, `.inputs`, `.outputs`, `.names` blocks
+    /// with single-output covers (both ON-covers, rows ending `1`, and
+    /// OFF-covers, rows ending `0`), comments (`#`), line continuations
+    /// (`\`), and `.end`. Latches and subcircuits are rejected.
+    ///
+    /// `.names` blocks may appear in any order; they are resolved
+    /// topologically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseBlifError`] on malformed input, undefined signals
+    /// or combinational cycles.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spp_netlist::Netlist;
+    ///
+    /// let blif = "\
+    /// .model parity
+    /// .inputs x0 x1
+    /// .outputs f
+    /// .names x0 x1 f
+    /// 01 1
+    /// 10 1
+    /// .end
+    /// ";
+    /// let net = Netlist::from_blif(blif)?;
+    /// assert_eq!(net.num_inputs(), 2);
+    /// let f = spp_boolfn::BoolFn::from_indices(2, &[0b01, 0b10]);
+    /// assert!(net.equivalent_to_fast(&f, 0));
+    /// # Ok::<(), spp_netlist::ParseBlifError>(())
+    /// ```
+    pub fn from_blif(text: &str) -> Result<Netlist, ParseBlifError> {
+        // Join continuation lines first.
+        let mut joined: Vec<(usize, String)> = Vec::new();
+        let mut pending: Option<(usize, String)> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim_end();
+            let (starts, mut content) = match pending.take() {
+                Some((l, mut s)) => {
+                    s.push(' ');
+                    s.push_str(line.trim());
+                    (l, s)
+                }
+                None => (lineno + 1, line.trim().to_owned()),
+            };
+            if content.ends_with('\\') {
+                content.pop();
+                pending = Some((starts, content));
+            } else if !content.is_empty() {
+                joined.push((starts, content));
+            }
+        }
+
+        let mut inputs: Vec<String> = Vec::new();
+        let mut outputs: Vec<String> = Vec::new();
+        let mut blocks: Vec<NamesBlock> = Vec::new();
+        let mut current: Option<NamesBlock> = None;
+
+        for (lineno, line) in joined {
+            if let Some(rest) = line.strip_prefix('.') {
+                if let Some(block) = current.take() {
+                    blocks.push(block);
+                }
+                let mut parts = rest.split_whitespace();
+                match parts.next().unwrap_or("") {
+                    "model" => {}
+                    "inputs" => inputs.extend(parts.map(str::to_owned)),
+                    "outputs" => outputs.extend(parts.map(str::to_owned)),
+                    "names" => {
+                        let mut signals: Vec<String> = parts.map(str::to_owned).collect();
+                        let Some(output) = signals.pop() else {
+                            return Err(ParseBlifError::Syntax {
+                                line: lineno,
+                                message: ".names needs at least an output".to_owned(),
+                            });
+                        };
+                        current = Some(NamesBlock { inputs: signals, output, rows: Vec::new() });
+                    }
+                    "end" => break,
+                    other => {
+                        return Err(ParseBlifError::Syntax {
+                            line: lineno,
+                            message: format!("unsupported construct .{other}"),
+                        })
+                    }
+                }
+            } else if let Some(block) = current.as_mut() {
+                // A cover row: pattern then output value (pattern empty for
+                // constant blocks).
+                let mut parts = line.split_whitespace();
+                let (pattern, value) = if block.inputs.is_empty() {
+                    (String::new(), parts.next().unwrap_or(""))
+                } else {
+                    let p = parts.next().unwrap_or("").to_owned();
+                    (p, parts.next().unwrap_or(""))
+                };
+                let value = match value {
+                    "1" => true,
+                    "0" => false,
+                    other => {
+                        return Err(ParseBlifError::Syntax {
+                            line: lineno,
+                            message: format!("bad cover output {other:?}"),
+                        })
+                    }
+                };
+                if pattern.len() != block.inputs.len()
+                    || pattern.chars().any(|c| !matches!(c, '0' | '1' | '-'))
+                {
+                    return Err(ParseBlifError::Syntax {
+                        line: lineno,
+                        message: format!("bad cover row {line:?}"),
+                    });
+                }
+                block.rows.push((pattern, value));
+            } else {
+                return Err(ParseBlifError::Syntax {
+                    line: lineno,
+                    message: "cover row outside a .names block".to_owned(),
+                });
+            }
+        }
+        if let Some(block) = current.take() {
+            blocks.push(block);
+        }
+
+        // Build the netlist, resolving blocks topologically.
+        let mut net = Netlist::new(inputs.len());
+        let mut signals: HashMap<String, SignalId> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), i as SignalId))
+            .collect();
+        let mut remaining = blocks;
+        while !remaining.is_empty() {
+            let ready: Vec<usize> = remaining
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.inputs.iter().all(|i| signals.contains_key(i)))
+                .map(|(i, _)| i)
+                .collect();
+            if ready.is_empty() {
+                let name = remaining[0]
+                    .inputs
+                    .iter()
+                    .find(|i| !signals.contains_key(*i))
+                    .cloned()
+                    .unwrap_or_else(|| remaining[0].output.clone());
+                return Err(ParseBlifError::Unresolved { name });
+            }
+            for idx in ready.into_iter().rev() {
+                let block = remaining.swap_remove(idx);
+                let signal = build_block(&mut net, &signals, &block);
+                signals.insert(block.output.clone(), signal);
+            }
+        }
+
+        for name in &outputs {
+            let &signal = signals
+                .get(name)
+                .ok_or_else(|| ParseBlifError::UndefinedOutput { name: name.clone() })?;
+            net.add_output(name, signal);
+        }
+        Ok(net)
+    }
+}
+
+/// Builds the OR-of-ANDs (or its complement, for OFF-covers) of a
+/// `.names` block.
+fn build_block(net: &mut Netlist, signals: &HashMap<String, SignalId>, block: &NamesBlock) -> SignalId {
+    // Constant blocks: no inputs. BLIF: an empty cover is constant 0; a
+    // single empty "1" row is constant 1.
+    let polarity_on = block.rows.first().is_none_or(|(_, v)| *v);
+    let mut terms = Vec::new();
+    for (pattern, _) in &block.rows {
+        let mut literals = Vec::new();
+        for (i, c) in pattern.chars().enumerate() {
+            let sig = signals[&block.inputs[i]];
+            match c {
+                '1' => literals.push(sig),
+                '0' => {
+                    let inv = net.not(sig);
+                    literals.push(inv);
+                }
+                _ => {}
+            }
+        }
+        terms.push(net.and(literals));
+    }
+    let cover = net.or(terms);
+    if polarity_on {
+        cover
+    } else {
+        // Rows with output 0 list the OFF-set: the signal is its complement.
+        net.not(cover)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_boolfn::BoolFn;
+
+    #[test]
+    fn parses_simple_model() {
+        let blif = "\
+.model m
+.inputs a b c
+.outputs f
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.end
+";
+        let net = Netlist::from_blif(blif).unwrap();
+        let f = BoolFn::from_truth_fn(3, |x| (x & 0b011 == 0b011) || (x & 0b100 != 0));
+        assert!(net.equivalent_to_fast(&f, 0));
+    }
+
+    #[test]
+    fn blocks_resolve_out_of_order() {
+        let blif = "\
+.model m
+.inputs a b
+.outputs f
+.names t f
+1 1
+.names a b t
+01 1
+10 1
+.end
+";
+        let net = Netlist::from_blif(blif).unwrap();
+        let f = BoolFn::from_indices(2, &[0b01, 0b10]);
+        assert!(net.equivalent_to_fast(&f, 0));
+    }
+
+    #[test]
+    fn off_covers_complement() {
+        // f defined by its OFF-set: f = NOT(a·b).
+        let blif = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n";
+        let net = Netlist::from_blif(blif).unwrap();
+        let f = BoolFn::from_truth_fn(2, |x| x != 0b11);
+        assert!(net.equivalent_to_fast(&f, 0));
+    }
+
+    #[test]
+    fn constant_blocks() {
+        let blif = ".model m\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let net = Netlist::from_blif(blif).unwrap();
+        assert_eq!(net.eval(&spp_gf2::Gf2Vec::zeros(1)), vec![true, false]);
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let blif = ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let net = Netlist::from_blif(blif).unwrap();
+        assert_eq!(net.num_inputs(), 2);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let blif = "\
+.model m
+.inputs a
+.outputs f
+.names f a g
+11 1
+.names g a f
+11 1
+.end
+";
+        let err = Netlist::from_blif(blif).unwrap_err();
+        assert!(matches!(err, ParseBlifError::Unresolved { .. }));
+    }
+
+    #[test]
+    fn undefined_output_is_an_error() {
+        let blif = ".model m\n.inputs a\n.outputs f\n.end\n";
+        let err = Netlist::from_blif(blif).unwrap_err();
+        assert_eq!(err, ParseBlifError::UndefinedOutput { name: "f".to_owned() });
+    }
+
+    #[test]
+    fn bad_rows_are_reported_with_lines() {
+        let blif = ".model m\n.inputs a\n.outputs f\n.names a f\n2 1\n.end\n";
+        let err = Netlist::from_blif(blif).unwrap_err();
+        assert!(matches!(err, ParseBlifError::Syntax { line: 5, .. }), "{err}");
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        use spp_core::{minimize_spp_exact, SppOptions};
+        let f = BoolFn::from_truth_fn(4, |x| x % 3 == 1 || x.count_ones() % 2 == 0);
+        let form = minimize_spp_exact(&f, &SppOptions::default()).form;
+        let original = Netlist::from_spp_form(&form);
+        let parsed = Netlist::from_blif(&original.to_blif("rt")).unwrap();
+        assert!(parsed.equivalent_to_fast(&f, 0));
+    }
+
+    #[test]
+    fn latches_are_unsupported() {
+        let blif = ".model m\n.inputs a\n.outputs f\n.latch a f 0\n.end\n";
+        let err = Netlist::from_blif(blif).unwrap_err();
+        assert!(matches!(err, ParseBlifError::Syntax { .. }));
+        assert!(err.to_string().contains("latch"));
+    }
+}

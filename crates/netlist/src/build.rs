@@ -1,0 +1,185 @@
+//! Building netlists from minimized forms.
+
+use spp_core::SppForm;
+use spp_sp::SpForm;
+
+use crate::Netlist;
+
+impl Netlist {
+    /// Builds the three-level EXOR–AND–OR network of an SPP form: one EXOR
+    /// gate per multi-literal factor (complementations become inverters on
+    /// the factor output), one AND per multi-factor pseudoproduct, one OR
+    /// over the terms. Shared factors become shared gates through
+    /// structural hashing.
+    ///
+    /// The output is named `f`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spp_core::{Pseudocube, SppForm};
+    /// use spp_netlist::Netlist;
+    ///
+    /// let a = Pseudocube::from_cube(&"110".parse().unwrap());
+    /// let b = Pseudocube::from_cube(&"011".parse().unwrap());
+    /// let form = SppForm::new(3, vec![a.union(&b).unwrap()]); // x1·(x0⊕x2)
+    /// let net = Netlist::from_spp_form(&form);
+    /// assert_eq!(net.gate_count(), 2); // one XOR, one AND
+    /// assert_eq!(net.depth(), 2);
+    /// ```
+    #[must_use]
+    pub fn from_spp_form(form: &SppForm) -> Netlist {
+        let mut net = Netlist::new(form.num_vars());
+        let mut terms = Vec::with_capacity(form.num_pseudoproducts());
+        for pc in form.terms() {
+            let cex = pc.cex();
+            let mut factors = Vec::with_capacity(cex.factors().len());
+            for factor in cex.factors() {
+                let fanin: Vec<_> =
+                    factor.vars().iter_ones().map(|v| net.input(v)).collect();
+                let mut sig = net.xor(fanin);
+                if factor.is_complemented() {
+                    sig = net.not(sig);
+                }
+                factors.push(sig);
+            }
+            terms.push(net.and(factors));
+        }
+        let out = net.or(terms);
+        net.add_output("f", out);
+        net
+    }
+
+    /// Builds the two-level AND–OR network of an SP form (inverters on
+    /// complemented literals). The output is named `f`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spp_netlist::Netlist;
+    /// use spp_sp::SpForm;
+    ///
+    /// let form = SpForm::new(2, vec!["10".parse().unwrap(), "01".parse().unwrap()]);
+    /// let net = Netlist::from_sp_form(&form);
+    /// assert_eq!(net.depth(), 2);
+    /// ```
+    #[must_use]
+    pub fn from_sp_form(form: &SpForm) -> Netlist {
+        let mut net = Netlist::new(form.num_vars());
+        let mut terms = Vec::with_capacity(form.num_products());
+        for cube in form.cubes() {
+            let mut literals = Vec::new();
+            for v in 0..form.num_vars() {
+                if cube.mask().get(v) {
+                    let sig = net.input(v);
+                    literals.push(if cube.values().get(v) { sig } else { net.not(sig) });
+                }
+            }
+            terms.push(net.and(literals));
+        }
+        let out = net.or(terms);
+        net.add_output("f", out);
+        net
+    }
+
+    /// Builds a multi-output netlist from one SPP form per output; terms
+    /// and factors shared across outputs become shared gates. Outputs are
+    /// named `f0, f1, ...`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forms are over different variable counts.
+    #[must_use]
+    pub fn from_spp_forms(forms: &[SppForm]) -> Netlist {
+        let n = forms.first().map_or(0, SppForm::num_vars);
+        assert!(forms.iter().all(|f| f.num_vars() == n), "forms must share inputs");
+        let mut net = Netlist::new(n);
+        for (j, form) in forms.iter().enumerate() {
+            let mut terms = Vec::with_capacity(form.num_pseudoproducts());
+            for pc in form.terms() {
+                let cex = pc.cex();
+                let mut factors = Vec::with_capacity(cex.factors().len());
+                for factor in cex.factors() {
+                    let fanin: Vec<_> =
+                        factor.vars().iter_ones().map(|v| net.input(v)).collect();
+                    let mut sig = net.xor(fanin);
+                    if factor.is_complemented() {
+                        sig = net.not(sig);
+                    }
+                    factors.push(sig);
+                }
+                terms.push(net.and(factors));
+            }
+            let out = net.or(terms);
+            net.add_output(&format!("f{j}"), out);
+        }
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_boolfn::BoolFn;
+    use spp_core::{minimize_spp_exact, minimize_spp_multi, SppOptions};
+    use spp_sp::minimize_sp;
+
+    #[test]
+    fn spp_netlist_is_equivalent_and_three_level() {
+        let f = BoolFn::from_truth_fn(4, |x| (x ^ (x >> 1)) & 1 == 1 || x == 0b1111);
+        let r = minimize_spp_exact(&f, &SppOptions::default());
+        let net = Netlist::from_spp_form(&r.form);
+        assert!(net.equivalent_to(&f, 0));
+        assert!(net.depth() <= 3, "SPP networks are at most three levels, got {}", net.depth());
+    }
+
+    #[test]
+    fn sp_netlist_is_equivalent_and_two_level() {
+        let f = BoolFn::from_truth_fn(4, |x| x.count_ones() >= 3);
+        let r = minimize_sp(&f, &spp_cover::Limits::default());
+        let net = Netlist::from_sp_form(&r.form);
+        assert!(net.equivalent_to(&f, 0));
+        assert!(net.depth() <= 2);
+    }
+
+    #[test]
+    fn shared_factors_share_gates() {
+        // Two pseudoproducts sharing the factor (x0⊕x1).
+        use spp_core::{Cex, ExorFactor};
+        use spp_gf2::Gf2Vec;
+        let fac = |vars: &[usize], neg| ExorFactor::new(Gf2Vec::from_index_bits(4, vars), neg);
+        let t1 = Cex::new(4, vec![fac(&[0, 1], false), fac(&[2], false)])
+            .to_pseudocube()
+            .unwrap();
+        let t2 = Cex::new(4, vec![fac(&[0, 1], false), fac(&[3], true)])
+            .to_pseudocube()
+            .unwrap();
+        let form = SppForm::new(4, vec![t1, t2]);
+        let net = Netlist::from_spp_form(&form);
+        // Gates: XOR(x0,x1) created once + inverter on x3 + 2 ANDs + 1 OR.
+        assert_eq!(net.gate_count(), 5);
+    }
+
+    #[test]
+    fn multi_output_netlist_shares_terms() {
+        let f0 = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
+        let f1 = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1 || x == 0);
+        let multi = minimize_spp_multi(&[f0.clone(), f1.clone()], &SppOptions::default());
+        let net = Netlist::from_spp_forms(&multi.forms);
+        assert!(net.equivalent_to(&f0, 0));
+        assert!(net.equivalent_to(&f1, 1));
+        // The shared parity gate must exist once: fewer gates than two
+        // separate single-output netlists.
+        let separate = Netlist::from_spp_form(&multi.forms[0]).gate_count()
+            + Netlist::from_spp_form(&multi.forms[1]).gate_count();
+        assert!(net.gate_count() <= separate);
+    }
+
+    #[test]
+    fn empty_form_is_constant_zero() {
+        let form = SppForm::new(3, vec![]);
+        let net = Netlist::from_spp_form(&form);
+        let zero = BoolFn::from_indices(3, &[]);
+        assert!(net.equivalent_to(&zero, 0));
+    }
+}

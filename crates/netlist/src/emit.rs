@@ -1,0 +1,227 @@
+//! Netlist writers: BLIF and structural Verilog.
+
+use std::fmt::Write as _;
+
+use crate::{GateKind, Netlist, SignalId};
+
+impl Netlist {
+    fn signal_name(&self, id: SignalId) -> String {
+        if (id as usize) < self.num_inputs() {
+            format!("x{id}")
+        } else {
+            format!("n{id}")
+        }
+    }
+
+    /// Serializes the netlist as a BLIF model.
+    ///
+    /// AND/OR/NOT gates become single `.names` blocks; an EXOR of `k`
+    /// inputs becomes a `.names` block with its `2^{k-1}` odd-parity rows
+    /// (BLIF has no native EXOR), so very wide factors produce large
+    /// blocks — fine for the factor widths SPP minimization produces.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spp_netlist::Netlist;
+    ///
+    /// let mut net = Netlist::new(2);
+    /// let x = net.xor(vec![0, 1]);
+    /// net.add_output("f", x);
+    /// let blif = net.to_blif("parity");
+    /// assert!(blif.contains(".model parity"));
+    /// assert!(blif.contains(".names x0 x1"));
+    /// ```
+    #[must_use]
+    pub fn to_blif(&self, model: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, ".model {model}");
+        let inputs: Vec<String> = (0..self.num_inputs()).map(|i| format!("x{i}")).collect();
+        let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+        let names: Vec<String> = self.outputs().iter().map(|(n, _)| n.clone()).collect();
+        let _ = writeln!(out, ".outputs {}", names.join(" "));
+
+        for id in 0..self.num_signals() as SignalId {
+            let (kind, fanin) = self.gate(id);
+            let target = self.signal_name(id);
+            let fanin_names: Vec<String> =
+                fanin.iter().map(|&f| self.signal_name(f)).collect();
+            match kind {
+                GateKind::Input => {}
+                GateKind::Const0 => {
+                    let _ = writeln!(out, ".names {target}");
+                }
+                GateKind::Const1 => {
+                    let _ = writeln!(out, ".names {target}\n1");
+                }
+                GateKind::Not => {
+                    let _ = writeln!(out, ".names {} {target}\n0 1", fanin_names[0]);
+                }
+                GateKind::And => {
+                    let _ = writeln!(out, ".names {} {target}", fanin_names.join(" "));
+                    let _ = writeln!(out, "{} 1", "1".repeat(fanin.len()));
+                }
+                GateKind::Or => {
+                    let _ = writeln!(out, ".names {} {target}", fanin_names.join(" "));
+                    for i in 0..fanin.len() {
+                        let mut row = vec!['-'; fanin.len()];
+                        row[i] = '1';
+                        let _ = writeln!(out, "{} 1", row.iter().collect::<String>());
+                    }
+                }
+                GateKind::Xor => {
+                    let _ = writeln!(out, ".names {} {target}", fanin_names.join(" "));
+                    for bits in 0..(1u32 << fanin.len()) {
+                        if bits.count_ones() % 2 == 1 {
+                            let row: String = (0..fanin.len())
+                                .map(|i| if bits >> i & 1 == 1 { '1' } else { '0' })
+                                .collect();
+                            let _ = writeln!(out, "{row} 1");
+                        }
+                    }
+                }
+            }
+        }
+        // Output aliases.
+        for (name, sig) in self.outputs() {
+            let src = self.signal_name(*sig);
+            if *name != src {
+                let _ = writeln!(out, ".names {src} {name}\n1 1");
+            }
+        }
+        out.push_str(".end\n");
+        out
+    }
+
+    /// Serializes the netlist as structural Verilog (continuous `assign`
+    /// statements over `wire`s).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spp_netlist::Netlist;
+    ///
+    /// let mut net = Netlist::new(2);
+    /// let x = net.xor(vec![0, 1]);
+    /// net.add_output("f", x);
+    /// let v = net.to_verilog("parity");
+    /// assert!(v.contains("module parity"));
+    /// assert!(v.contains("assign f"));
+    /// ```
+    #[must_use]
+    pub fn to_verilog(&self, module: &str) -> String {
+        let mut out = String::new();
+        let inputs: Vec<String> = (0..self.num_inputs()).map(|i| format!("x{i}")).collect();
+        let output_names: Vec<String> =
+            self.outputs().iter().map(|(n, _)| n.clone()).collect();
+        let _ = writeln!(
+            out,
+            "module {module}({}, {});",
+            inputs.join(", "),
+            output_names.join(", ")
+        );
+        for i in &inputs {
+            let _ = writeln!(out, "  input {i};");
+        }
+        for o in &output_names {
+            let _ = writeln!(out, "  output {o};");
+        }
+        for id in self.num_inputs() as SignalId..self.num_signals() as SignalId {
+            let _ = writeln!(out, "  wire {};", self.signal_name(id));
+        }
+        for id in self.num_inputs() as SignalId..self.num_signals() as SignalId {
+            let (kind, fanin) = self.gate(id);
+            let target = self.signal_name(id);
+            let names: Vec<String> = fanin.iter().map(|&f| self.signal_name(f)).collect();
+            let expr = match kind {
+                GateKind::Input => continue,
+                GateKind::Const0 => "1'b0".to_owned(),
+                GateKind::Const1 => "1'b1".to_owned(),
+                GateKind::Not => format!("~{}", names[0]),
+                GateKind::And => names.join(" & "),
+                GateKind::Or => names.join(" | "),
+                GateKind::Xor => names.join(" ^ "),
+            };
+            let _ = writeln!(out, "  assign {target} = {expr};");
+        }
+        for (name, sig) in self.outputs() {
+            let _ = writeln!(out, "  assign {name} = {};", self.signal_name(*sig));
+        }
+        out.push_str("endmodule\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_boolfn::BoolFn;
+    use spp_core::{minimize_spp_exact, SppOptions};
+
+    fn sample_net() -> Netlist {
+        // f = (x0 ⊕ x1 ⊕ x2) · x̄3
+        let mut net = Netlist::new(4);
+        let x = net.xor(vec![0, 1, 2]);
+        let n3 = net.not(3);
+        let f = net.and(vec![x, n3]);
+        net.add_output("f", f);
+        net
+    }
+
+    #[test]
+    fn blif_structure() {
+        let blif = sample_net().to_blif("m");
+        assert!(blif.starts_with(".model m\n"));
+        assert!(blif.contains(".inputs x0 x1 x2 x3"));
+        assert!(blif.contains(".outputs f"));
+        assert!(blif.trim_end().ends_with(".end"));
+        // The 3-input XOR has 4 odd-parity rows.
+        let xor_rows = blif.lines().filter(|l| l.ends_with(" 1") && l.len() == 5).count();
+        assert_eq!(xor_rows, 4);
+    }
+
+    #[test]
+    fn blif_or_rows_use_dashes() {
+        let mut net = Netlist::new(2);
+        let o = net.or(vec![0, 1]);
+        net.add_output("f", o);
+        let blif = net.to_blif("m");
+        assert!(blif.contains("1- 1"));
+        assert!(blif.contains("-1 1"));
+    }
+
+    #[test]
+    fn verilog_structure() {
+        let v = sample_net().to_verilog("m");
+        assert!(v.starts_with("module m(x0, x1, x2, x3, f);"));
+        assert!(v.contains("assign n4 = x0 ^ x1 ^ x2;"));
+        assert!(v.contains("~x3"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn emitters_cover_minimized_forms() {
+        let f = BoolFn::from_truth_fn(3, |x| x != 0 && x != 7);
+        let form = minimize_spp_exact(&f, &SppOptions::default()).form;
+        let net = Netlist::from_spp_form(&form);
+        let blif = net.to_blif("g");
+        let verilog = net.to_verilog("g");
+        assert!(blif.contains(".model g"));
+        assert!(verilog.contains("module g"));
+        assert!(net.equivalent_to(&f, 0));
+    }
+
+    #[test]
+    fn constants_emit() {
+        let mut net = Netlist::new(1);
+        let c1 = net.constant(true);
+        let c0 = net.constant(false);
+        net.add_output("one", c1);
+        net.add_output("zero", c0);
+        let blif = net.to_blif("c");
+        assert!(blif.contains(".names n1\n1"));
+        let v = net.to_verilog("c");
+        assert!(v.contains("1'b1"));
+        assert!(v.contains("1'b0"));
+    }
+}

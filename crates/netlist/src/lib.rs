@@ -1,0 +1,43 @@
+//! Gate-level netlists for the forms produced by the `spp` minimizers.
+//!
+//! An SPP form is a *three-level* network — EXOR gates feeding AND gates
+//! feeding one OR gate — which is exactly what makes it attractive in
+//! practice (paper §1: "a good trade-off between the speed of two-level
+//! logic and the compactness of multi-level logic"). This crate turns
+//! [`SppForm`](spp_core::SppForm)s and [`SpForm`](spp_sp::SpForm)s into
+//! explicit gate networks:
+//!
+//! - [`Netlist`]: a topologically ordered gate list with **structural
+//!   hashing** (identical gates are created once, so pseudoproducts
+//!   sharing EXOR factors share gates);
+//! - evaluation ([`Netlist::eval`]) for equivalence checking;
+//! - cost and depth models ([`Netlist::gate_count`], [`Netlist::depth`],
+//!   [`Netlist::fanin_count`]);
+//! - writers for BLIF ([`Netlist::to_blif`]) and structural Verilog
+//!   ([`Netlist::to_verilog`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use spp_boolfn::BoolFn;
+//! use spp_core::{minimize_spp_exact, SppOptions};
+//! use spp_netlist::Netlist;
+//!
+//! let f = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
+//! let form = minimize_spp_exact(&f, &SppOptions::default()).form;
+//! let net = Netlist::from_spp_form(&form);
+//! assert_eq!(net.depth(), 1); // one EXOR gate
+//! assert!(net.equivalent_to(&f, 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blif;
+mod build;
+mod emit;
+mod net;
+mod sim;
+
+pub use blif::ParseBlifError;
+pub use net::{GateKind, Netlist, SignalId};

@@ -1,0 +1,385 @@
+//! The netlist IR: a topologically ordered, structurally hashed gate list.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use spp_boolfn::BoolFn;
+use spp_gf2::Gf2Vec;
+
+/// Index of a signal (input or gate output) in a [`Netlist`].
+pub type SignalId = u32;
+
+/// The kind of a netlist node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input `x_i` (fanin empty; the index is the input number).
+    Input,
+    /// Constant 0.
+    Const0,
+    /// Constant 1.
+    Const1,
+    /// Inverter (single fanin).
+    Not,
+    /// AND of the fanins.
+    And,
+    /// OR of the fanins.
+    Or,
+    /// EXOR of the fanins.
+    Xor,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Gate {
+    kind: GateKind,
+    fanin: Vec<SignalId>,
+}
+
+/// A combinational netlist: primary inputs, a topologically ordered gate
+/// list (fanins always precede their gate) and named primary outputs.
+///
+/// Construction goes through the structurally hashing builders
+/// ([`Netlist::and`], [`Netlist::or`], [`Netlist::xor`], [`Netlist::not`]),
+/// so requesting the same gate twice returns the same signal — shared
+/// EXOR factors across pseudoproducts become shared gates.
+///
+/// # Examples
+///
+/// ```
+/// use spp_netlist::{GateKind, Netlist};
+///
+/// let mut net = Netlist::new(2);
+/// let x0 = net.input(0);
+/// let x1 = net.input(1);
+/// let a = net.xor(vec![x0, x1]);
+/// let b = net.xor(vec![x1, x0]); // same gate, hashed
+/// assert_eq!(a, b);
+/// net.add_output("parity", a);
+/// assert_eq!(net.gate_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<(String, SignalId)>,
+    dedup: HashMap<Gate, SignalId>,
+}
+
+impl Netlist {
+    /// Creates a netlist with `num_inputs` primary inputs (signals
+    /// `0..num_inputs`).
+    #[must_use]
+    pub fn new(num_inputs: usize) -> Self {
+        let gates = (0..num_inputs)
+            .map(|_| Gate { kind: GateKind::Input, fanin: Vec::new() })
+            .collect();
+        Netlist { num_inputs, gates, outputs: Vec::new(), dedup: HashMap::new() }
+    }
+
+    /// The signal of primary input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_inputs`.
+    #[must_use]
+    pub fn input(&self, i: usize) -> SignalId {
+        assert!(i < self.num_inputs, "input {i} out of range");
+        i as SignalId
+    }
+
+    /// The number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The named primary outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, SignalId)] {
+        &self.outputs
+    }
+
+    /// Registers a named primary output.
+    pub fn add_output(&mut self, name: &str, signal: SignalId) {
+        assert!((signal as usize) < self.gates.len(), "dangling output signal");
+        self.outputs.push((name.to_owned(), signal));
+    }
+
+    fn intern(&mut self, kind: GateKind, mut fanin: Vec<SignalId>) -> SignalId {
+        for &f in &fanin {
+            assert!((f as usize) < self.gates.len(), "dangling fanin {f}");
+        }
+        if matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor) {
+            fanin.sort_unstable();
+            if matches!(kind, GateKind::And | GateKind::Or) {
+                fanin.dedup();
+            }
+        }
+        // Unit laws make degenerate gates wires.
+        if fanin.len() == 1 && matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor) {
+            return fanin[0];
+        }
+        let gate = Gate { kind, fanin };
+        if let Some(&id) = self.dedup.get(&gate) {
+            return id;
+        }
+        let id = self.gates.len() as SignalId;
+        self.gates.push(gate.clone());
+        self.dedup.insert(gate, id);
+        id
+    }
+
+    /// A constant signal.
+    pub fn constant(&mut self, value: bool) -> SignalId {
+        self.intern(if value { GateKind::Const1 } else { GateKind::Const0 }, Vec::new())
+    }
+
+    /// The AND of `fanin` (empty = constant 1, singleton = wire).
+    pub fn and(&mut self, fanin: Vec<SignalId>) -> SignalId {
+        if fanin.is_empty() {
+            return self.constant(true);
+        }
+        self.intern(GateKind::And, fanin)
+    }
+
+    /// The OR of `fanin` (empty = constant 0, singleton = wire).
+    pub fn or(&mut self, fanin: Vec<SignalId>) -> SignalId {
+        if fanin.is_empty() {
+            return self.constant(false);
+        }
+        self.intern(GateKind::Or, fanin)
+    }
+
+    /// The EXOR of `fanin` (empty = constant 0, singleton = wire).
+    pub fn xor(&mut self, fanin: Vec<SignalId>) -> SignalId {
+        if fanin.is_empty() {
+            return self.constant(false);
+        }
+        self.intern(GateKind::Xor, fanin)
+    }
+
+    /// The complement of `signal` (double negation collapses).
+    pub fn not(&mut self, signal: SignalId) -> SignalId {
+        let g = &self.gates[signal as usize];
+        if g.kind == GateKind::Not {
+            return g.fanin[0];
+        }
+        if g.kind == GateKind::Const0 {
+            return self.constant(true);
+        }
+        if g.kind == GateKind::Const1 {
+            return self.constant(false);
+        }
+        self.intern(GateKind::Not, vec![signal])
+    }
+
+    /// The number of logic gates (inputs and constants excluded; `Not`
+    /// counts as a gate).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, GateKind::Input | GateKind::Const0 | GateKind::Const1))
+            .count()
+    }
+
+    /// The total fanin (wire) count over all logic gates — the structural
+    /// analogue of the literal count.
+    #[must_use]
+    pub fn fanin_count(&self) -> usize {
+        self.gates.iter().map(|g| g.fanin.len()).sum()
+    }
+
+    /// The logic depth from inputs to the deepest primary output, counting
+    /// AND/OR/XOR levels (inverters are free, as in most cost models).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            let below = g.fanin.iter().map(|&f| depth[f as usize]).max().unwrap_or(0);
+            depth[i] = match g.kind {
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Not => below,
+                _ => below + 1,
+            };
+        }
+        self.outputs.iter().map(|&(_, s)| depth[s as usize]).max().unwrap_or(0)
+    }
+
+    /// Evaluates every output for the given input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.num_inputs()`.
+    #[must_use]
+    pub fn eval(&self, input: &Gf2Vec) -> Vec<bool> {
+        assert_eq!(input.len(), self.num_inputs, "input width mismatch");
+        let mut value = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            value[i] = match g.kind {
+                GateKind::Input => input.get(i),
+                GateKind::Const0 => false,
+                GateKind::Const1 => true,
+                GateKind::Not => !value[g.fanin[0] as usize],
+                GateKind::And => g.fanin.iter().all(|&f| value[f as usize]),
+                GateKind::Or => g.fanin.iter().any(|&f| value[f as usize]),
+                GateKind::Xor => g
+                    .fanin
+                    .iter()
+                    .fold(false, |acc, &f| acc ^ value[f as usize]),
+            };
+        }
+        self.outputs.iter().map(|&(_, s)| value[s as usize]).collect()
+    }
+
+    /// Exhaustively checks that output `output_index` computes `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths mismatch, the output index is out of range, or
+    /// `num_inputs > 24`.
+    #[must_use]
+    pub fn equivalent_to(&self, f: &BoolFn, output_index: usize) -> bool {
+        assert_eq!(f.num_vars(), self.num_inputs, "input width mismatch");
+        assert!(output_index < self.outputs.len(), "output index out of range");
+        spp_boolfn::all_points(self.num_inputs).all(|p| {
+            let got = self.eval(&p)[output_index];
+            match f.value(&p) {
+                spp_boolfn::Value::One => got,
+                spp_boolfn::Value::Zero => !got,
+                spp_boolfn::Value::DontCare => true,
+            }
+        })
+    }
+
+    pub(crate) fn gate(&self, id: SignalId) -> (&GateKind, &[SignalId]) {
+        let g = &self.gates[id as usize];
+        (&g.kind, &g.fanin)
+    }
+
+    pub(crate) fn num_signals(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} inputs, {} gates, {} outputs, depth {}",
+            self.num_inputs,
+            self.gate_count(),
+            self.outputs.len(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Gf2Vec {
+        Gf2Vec::from_bit_str(s).unwrap()
+    }
+
+    #[test]
+    fn structural_hashing_shares_gates() {
+        let mut net = Netlist::new(3);
+        let a = net.xor(vec![0, 1]);
+        let b = net.xor(vec![1, 0]);
+        assert_eq!(a, b);
+        let c = net.and(vec![a, 2]);
+        let d = net.and(vec![2, b]);
+        assert_eq!(c, d);
+        assert_eq!(net.gate_count(), 2);
+    }
+
+    #[test]
+    fn unit_gates_are_wires() {
+        let mut net = Netlist::new(2);
+        assert_eq!(net.and(vec![1]), 1);
+        assert_eq!(net.or(vec![0]), 0);
+        assert_eq!(net.xor(vec![1]), 1);
+        assert_eq!(net.gate_count(), 0);
+    }
+
+    #[test]
+    fn empty_gates_are_constants() {
+        let mut net = Netlist::new(1);
+        let t = net.and(vec![]);
+        let z = net.or(vec![]);
+        net.add_output("t", t);
+        net.add_output("z", z);
+        assert_eq!(net.eval(&v("0")), vec![true, false]);
+        assert_eq!(net.eval(&v("1")), vec![true, false]);
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let mut net = Netlist::new(1);
+        let n = net.not(0);
+        let nn = net.not(n);
+        assert_eq!(nn, 0);
+        assert_eq!(net.gate_count(), 1);
+    }
+
+    #[test]
+    fn eval_computes_gates() {
+        // f = (x0 ⊕ x1) · x̄2
+        let mut net = Netlist::new(3);
+        let x = net.xor(vec![0, 1]);
+        let n2 = net.not(2);
+        let f = net.and(vec![x, n2]);
+        net.add_output("f", f);
+        assert_eq!(net.eval(&v("100")), vec![true]);
+        assert_eq!(net.eval(&v("101")), vec![false]);
+        assert_eq!(net.eval(&v("110")), vec![false]);
+        assert_eq!(net.eval(&v("010")), vec![true]);
+    }
+
+    #[test]
+    fn depth_ignores_inverters() {
+        let mut net = Netlist::new(2);
+        let n0 = net.not(0);
+        let a = net.and(vec![n0, 1]);
+        let o = net.or(vec![a, 0]);
+        net.add_output("f", o);
+        assert_eq!(net.depth(), 2);
+    }
+
+    #[test]
+    fn and_dedups_repeated_fanin_but_xor_does_not() {
+        let mut net = Netlist::new(2);
+        // AND(x0, x0) = x0 (idempotent) — after dedup it is a wire.
+        assert_eq!(net.and(vec![0, 0]), 0);
+        // XOR(x0, x0) is NOT idempotent; it stays a gate computing 0.
+        let x = net.xor(vec![0, 0]);
+        net.add_output("x", x);
+        assert_eq!(net.eval(&v("10")), vec![false]);
+    }
+
+    #[test]
+    fn equivalence_check() {
+        let f = BoolFn::from_truth_fn(2, |x| x.count_ones() == 1);
+        let mut net = Netlist::new(2);
+        let x = net.xor(vec![0, 1]);
+        net.add_output("f", x);
+        assert!(net.equivalent_to(&f, 0));
+        let g = BoolFn::from_truth_fn(2, |x| x == 3);
+        assert!(!net.equivalent_to(&g, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn dangling_fanin_panics() {
+        let mut net = Netlist::new(1);
+        let _ = net.and(vec![0, 7]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut net = Netlist::new(2);
+        let a = net.and(vec![0, 1]);
+        net.add_output("f", a);
+        assert_eq!(net.to_string(), "netlist: 2 inputs, 1 gates, 1 outputs, depth 1");
+    }
+}

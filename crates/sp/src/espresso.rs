@@ -1,0 +1,212 @@
+//! An Espresso-style heuristic two-level minimizer: EXPAND + IRREDUNDANT
+//! passes over a cube cover, for functions whose prime-implicant set is
+//! too large for the exact Quine–McCluskey pipeline.
+
+use spp_boolfn::{BoolFn, Cube};
+
+use crate::SpForm;
+
+/// The outcome of [`minimize_sp_heuristic`].
+#[derive(Clone, Debug)]
+pub struct SpHeuristicResult {
+    /// The minimized (upper-bound) form.
+    pub form: SpForm,
+    /// EXPAND/IRREDUNDANT iterations performed until no improvement.
+    pub iterations: usize,
+}
+
+impl SpHeuristicResult {
+    /// Literals in the form.
+    #[must_use]
+    pub fn literal_count(&self) -> u64 {
+        self.form.literal_count()
+    }
+}
+
+/// Whether `cube` is an implicant of `f` (covers only ON or DC points).
+fn is_implicant(f: &BoolFn, cube: &Cube) -> bool {
+    // Whichever is cheaper: walking the cube's points or scanning the
+    // ON∪DC sets for membership counts.
+    let cube_points = 1u128 << cube.degree().min(127);
+    let fn_points = (f.on_set().len() + f.dc_set().len()) as u128;
+    if cube_points <= fn_points {
+        cube.points().all(|p| f.is_coverable(&p))
+    } else {
+        // The cube has more points than f can cover: cannot be an implicant.
+        false
+    }
+}
+
+/// EXPAND: greedily free bound variables of `cube` (largest literal gain
+/// first = any order here, since each freeing removes exactly one
+/// literal) while the cube stays an implicant.
+fn expand(f: &BoolFn, cube: Cube, order: &[usize]) -> Cube {
+    let mut current = cube;
+    for &v in order {
+        if !current.mask().get(v) {
+            continue;
+        }
+        let candidate = Cube::new(
+            current.mask().with_bit(v, false),
+            current.values().with_bit(v, false),
+        );
+        if is_implicant(f, &candidate) {
+            current = candidate;
+        }
+    }
+    current
+}
+
+/// IRREDUNDANT: drop cubes whose ON-points are covered by the rest,
+/// most-expensive first.
+fn irredundant(f: &BoolFn, cubes: &mut Vec<Cube>) {
+    let mut order: Vec<usize> = (0..cubes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].literal_count()));
+    let mut keep = vec![true; cubes.len()];
+    for &i in &order {
+        keep[i] = false;
+        let covered = f.on_set().iter().all(|p| {
+            !cubes[i].contains_point(p)
+                || cubes
+                    .iter()
+                    .enumerate()
+                    .any(|(j, c)| j != i && keep[j] && c.contains_point(p))
+        });
+        if !covered {
+            keep[i] = true;
+        }
+    }
+    let mut j = 0;
+    cubes.retain(|_| {
+        let k = keep[j];
+        j += 1;
+        k
+    });
+}
+
+/// Minimizes `f` as an SP form heuristically: starting from the minterm
+/// cover, repeat EXPAND (with rotating variable orders) and IRREDUNDANT
+/// until the literal count stops improving.
+///
+/// Unlike [`minimize_sp`](crate::minimize_sp) this never builds the full
+/// prime-implicant set, so it scales to functions with large ON-sets at
+/// the cost of optimality (the result is an upper bound, like Espresso
+/// itself).
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_sp::minimize_sp_heuristic;
+///
+/// let f = BoolFn::from_truth_fn(4, |x| x & 0b0011 == 0b0011);
+/// let r = minimize_sp_heuristic(&f);
+/// assert!(r.form.realizes(&f));
+/// assert_eq!(r.literal_count(), 2); // x0·x1
+/// ```
+#[must_use]
+pub fn minimize_sp_heuristic(f: &BoolFn) -> SpHeuristicResult {
+    let n = f.num_vars();
+    let mut cubes: Vec<Cube> = f.on_set().iter().map(|&p| Cube::from_point(p)).collect();
+    let mut best = u64::MAX;
+    let mut iterations = 0;
+
+    loop {
+        iterations += 1;
+        // EXPAND with a rotating variable order so successive passes can
+        // escape the previous pass's local optimum.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.rotate_left(iterations % n.max(1));
+        let mut expanded: Vec<Cube> = cubes.iter().map(|&c| expand(f, c, &order)).collect();
+        expanded.sort_unstable();
+        expanded.dedup();
+        irredundant(f, &mut expanded);
+        let cost: u64 = expanded.iter().map(|c| u64::from(c.literal_count())).sum();
+        cubes = expanded;
+        if cost >= best || iterations >= 8 {
+            break;
+        }
+        best = cost;
+    }
+
+    SpHeuristicResult { form: SpForm::new(n, cubes), iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize_sp;
+    use spp_cover::Limits;
+
+    #[test]
+    fn simple_and_collapses() {
+        let f = BoolFn::from_truth_fn(3, |x| x & 0b011 == 0b011);
+        let r = minimize_sp_heuristic(&f);
+        assert!(r.form.realizes(&f));
+        assert_eq!(r.literal_count(), 2);
+        assert_eq!(r.form.num_products(), 1);
+    }
+
+    #[test]
+    fn tautology_becomes_the_universal_cube() {
+        let f = BoolFn::from_truth_fn(3, |_| true);
+        let r = minimize_sp_heuristic(&f);
+        assert!(r.form.realizes(&f));
+        assert_eq!(r.literal_count(), 0);
+        assert_eq!(r.form.num_products(), 1);
+    }
+
+    #[test]
+    fn empty_function_is_empty_form() {
+        let f = BoolFn::from_indices(4, &[]);
+        let r = minimize_sp_heuristic(&f);
+        assert!(r.form.realizes(&f));
+        assert_eq!(r.form.num_products(), 0);
+    }
+
+    #[test]
+    fn parity_cannot_merge() {
+        let f = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
+        let r = minimize_sp_heuristic(&f);
+        assert!(r.form.realizes(&f));
+        assert_eq!(r.literal_count(), 12); // 4 minterms of 3 literals
+    }
+
+    #[test]
+    fn close_to_exact_on_small_functions() {
+        // The heuristic must realize f and stay within 1.5x of the exact
+        // minimum across all 3-variable functions.
+        for tt in 1u16..=255 {
+            let f = BoolFn::from_truth_fn(3, |x| tt >> x & 1 == 1);
+            let heuristic = minimize_sp_heuristic(&f);
+            assert!(heuristic.form.realizes(&f), "tt={tt:#010b}");
+            let exact = minimize_sp(&f, &Limits::default());
+            assert!(
+                heuristic.literal_count() <= exact.literal_count() * 3 / 2 + 1,
+                "tt={tt:#010b}: heuristic {} vs exact {}",
+                heuristic.literal_count(),
+                exact.literal_count()
+            );
+        }
+    }
+
+    #[test]
+    fn respects_dont_cares() {
+        use spp_gf2::Gf2Vec;
+        let p = |s: &str| Gf2Vec::from_bit_str(s).unwrap();
+        let f = BoolFn::with_dont_cares(2, [p("11")], [p("10"), p("01")]);
+        let r = minimize_sp_heuristic(&f);
+        assert!(r.form.realizes(&f));
+        assert!(r.literal_count() <= 1); // can expand into the DC points
+    }
+
+    #[test]
+    fn scales_to_wide_functions() {
+        // 12 inputs, ~2000 minterms: far beyond comfortable QM territory
+        // in a unit test; the heuristic stays fast.
+        let f = BoolFn::from_truth_fn(12, |x| x % 7 == 0 && x & 0b11 != 0b11);
+        let r = minimize_sp_heuristic(&f);
+        assert!(r.form.realizes(&f));
+        assert!(r.form.num_products() <= f.on_set().len());
+    }
+}

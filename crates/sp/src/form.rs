@@ -1,0 +1,173 @@
+//! Sum-of-Products forms.
+
+use std::fmt;
+
+use spp_boolfn::{BoolFn, Cube};
+use spp_gf2::Gf2Vec;
+
+/// A two-level Sum-of-Products form: an OR of product terms.
+///
+/// # Examples
+///
+/// ```
+/// use spp_sp::SpForm;
+///
+/// let form = SpForm::new(3, vec!["11-".parse()?, "0-0".parse()?]);
+/// assert_eq!(form.literal_count(), 4);
+/// assert_eq!(form.num_products(), 2);
+/// assert_eq!(form.to_string(), "x0·x1 + x̄0·x̄2");
+/// # Ok::<(), spp_boolfn::ParseCubeError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpForm {
+    n: usize,
+    cubes: Vec<Cube>,
+}
+
+impl SpForm {
+    /// Builds a form from product terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some cube is not over `n` variables.
+    #[must_use]
+    pub fn new(n: usize, cubes: Vec<Cube>) -> Self {
+        assert!(cubes.iter().all(|c| c.num_vars() == n), "cube width must equal n");
+        SpForm { n, cubes }
+    }
+
+    /// The number of input variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The product terms.
+    #[must_use]
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// The number of products (the paper's `#P`).
+    #[must_use]
+    pub fn num_products(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// The number of literals (the paper's `#L`, the minimization cost).
+    #[must_use]
+    pub fn literal_count(&self) -> u64 {
+        self.cubes.iter().map(|c| u64::from(c.literal_count())).sum()
+    }
+
+    /// Evaluates the form at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.num_vars()`.
+    #[must_use]
+    pub fn eval(&self, point: &Gf2Vec) -> bool {
+        self.cubes.iter().any(|c| c.contains_point(point))
+    }
+
+    /// Checks that the form realizes `f`: it is 1 on every ON-point, 0 on
+    /// every OFF-point, and anything on DC-points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ or `n > 24`.
+    #[must_use]
+    pub fn realizes(&self, f: &BoolFn) -> bool {
+        assert_eq!(self.n, f.num_vars(), "variable counts must match");
+        spp_boolfn::all_points(self.n).all(|p| match f.value(&p) {
+            spp_boolfn::Value::One => self.eval(&p),
+            spp_boolfn::Value::Zero => !self.eval(&p),
+            spp_boolfn::Value::DontCare => true,
+        })
+    }
+}
+
+impl fmt::Display for SpForm {
+    /// Algebraic notation: `x0·x̄2 + x1` (constant 0 prints as `0`, the
+    /// empty product as `1`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, cube) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if cube.literal_count() == 0 {
+                write!(f, "1")?;
+                continue;
+            }
+            let mut first = true;
+            for v in 0..self.n {
+                if cube.mask().get(v) {
+                    if !first {
+                        write!(f, "·")?;
+                    }
+                    first = false;
+                    if cube.values().get(v) {
+                        write!(f, "x{v}")?;
+                    } else {
+                        write!(f, "x̄{v}")?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Cube {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let form = SpForm::new(3, vec![c("1-0"), c("011")]);
+        assert_eq!(form.num_products(), 2);
+        assert_eq!(form.literal_count(), 5);
+    }
+
+    #[test]
+    fn eval_is_or_of_products() {
+        let form = SpForm::new(2, vec![c("1-"), c("01")]);
+        let p = |s: &str| Gf2Vec::from_bit_str(s).unwrap();
+        assert!(form.eval(&p("10")));
+        assert!(form.eval(&p("01")));
+        assert!(!form.eval(&p("00")));
+    }
+
+    #[test]
+    fn realizes_checks_both_polarities() {
+        let f = BoolFn::from_indices(2, &[0b10 /* x1 */]);
+        let good = SpForm::new(2, vec![c("01")]); // x̄0·x1
+        assert!(good.realizes(&f));
+        let over = SpForm::new(2, vec![c("-1")]);
+        assert!(!over.realizes(&f));
+        let under = SpForm::new(2, vec![]);
+        assert!(!under.realizes(&f));
+    }
+
+    #[test]
+    fn realizes_is_free_on_dont_cares() {
+        let p = |s: &str| Gf2Vec::from_bit_str(s).unwrap();
+        let f = BoolFn::with_dont_cares(2, [p("11")], [p("10")]);
+        let form = SpForm::new(2, vec![c("1-")]); // also covers the DC point
+        assert!(form.realizes(&f));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SpForm::new(2, vec![]).to_string(), "0");
+        assert_eq!(SpForm::new(2, vec![c("--")]).to_string(), "1");
+        assert_eq!(SpForm::new(3, vec![c("1-0"), c("011")]).to_string(), "x0·x̄2 + x̄0·x1·x2");
+    }
+}

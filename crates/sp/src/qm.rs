@@ -1,0 +1,170 @@
+//! Quine–McCluskey prime-implicant generation.
+
+use std::collections::{HashMap, HashSet};
+
+use spp_boolfn::{BoolFn, Cube};
+use spp_gf2::Gf2Vec;
+
+/// Computes all prime implicants of `f` (implicants may cover don't-care
+/// points, per standard two-level minimization practice).
+///
+/// This is the textbook Quine–McCluskey procedure: implicants of degree
+/// `k+1` are produced by merging pairs of degree-`k` implicants that bind
+/// the same variables and differ in exactly one value; implicants never
+/// merged are prime.
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_sp::prime_implicants;
+///
+/// // f = x̄0 + x̄1 on two variables: primes are 0- and -0.
+/// let f = BoolFn::from_indices(2, &[0b00, 0b01, 0b10]);
+/// let primes = prime_implicants(&f);
+/// assert_eq!(primes.len(), 2);
+/// ```
+#[must_use]
+pub fn prime_implicants(f: &BoolFn) -> Vec<Cube> {
+    let mut current: Vec<Cube> = f
+        .on_set()
+        .iter()
+        .chain(f.dc_set().iter())
+        .map(|&p| Cube::from_point(p))
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+
+    while !current.is_empty() {
+        let mut merged_flags = vec![false; current.len()];
+        let mut next: HashSet<Cube> = HashSet::new();
+
+        // Bucket by mask: only cubes binding the same variables can merge.
+        let mut by_mask: HashMap<Gf2Vec, Vec<usize>> = HashMap::new();
+        for (i, cube) in current.iter().enumerate() {
+            by_mask.entry(cube.mask()).or_default().push(i);
+        }
+
+        for indices in by_mask.values() {
+            // Value → index lookup lets each cube find its 1-bit-apart
+            // partners directly instead of scanning all pairs.
+            let by_value: HashMap<Gf2Vec, usize> =
+                indices.iter().map(|&i| (current[i].values(), i)).collect();
+            for &i in indices {
+                let cube = current[i];
+                for bit in cube.mask().iter_ones() {
+                    let partner_value = cube.values().with_bit(bit, !cube.values().get(bit));
+                    if let Some(&j) = by_value.get(&partner_value) {
+                        let m = cube.merge(&current[j]).expect("bucketed cubes must merge");
+                        merged_flags[i] = true;
+                        merged_flags[j] = true;
+                        next.insert(m);
+                    }
+                }
+            }
+        }
+
+        for (i, cube) in current.iter().enumerate() {
+            if !merged_flags[i] {
+                primes.push(*cube);
+            }
+        }
+        current = next.into_iter().collect();
+        current.sort_unstable();
+    }
+
+    primes.sort_unstable();
+    primes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_boolfn::all_points;
+
+    fn c(s: &str) -> Cube {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn xor_has_minterm_primes() {
+        // XOR cannot merge anything: primes are the two minterms.
+        let f = BoolFn::from_indices(2, &[0b01, 0b10]);
+        assert_eq!(prime_implicants(&f), vec![c("01"), c("10")]);
+    }
+
+    #[test]
+    fn and_collapses_to_one_prime() {
+        let f = BoolFn::from_indices(2, &[0b11]);
+        assert_eq!(prime_implicants(&f), vec![c("11")]);
+    }
+
+    #[test]
+    fn tautology_is_the_full_cube() {
+        let f = BoolFn::from_truth_fn(3, |_| true);
+        assert_eq!(prime_implicants(&f), vec![c("---")]);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic QM example: f(a,b,c) with on-set {0,1,2,5,6,7} (a = x0 LSB).
+        let f = BoolFn::from_indices(3, &[0, 1, 2, 5, 6, 7]);
+        let primes = prime_implicants(&f);
+        // Known primes: x̄0x̄2? Let's verify structurally instead of by list:
+        for p in &primes {
+            // Primality: freeing any bound variable leaves the function.
+            assert!(p.points().all(|pt| f.is_on(&pt)), "{p} not an implicant");
+            for bit in p.mask().iter_ones() {
+                let bigger = spp_boolfn::Cube::new(
+                    p.mask().with_bit(bit, false),
+                    p.values().with_bit(bit, false),
+                );
+                assert!(
+                    !bigger.points().all(|pt| f.is_on(&pt)),
+                    "{p} is not prime: {bigger} is also an implicant"
+                );
+            }
+        }
+        // Every on-point is covered by some prime.
+        for pt in f.on_set() {
+            assert!(primes.iter().any(|p| p.contains_point(pt)));
+        }
+    }
+
+    #[test]
+    fn primes_cover_exactly_the_function_union() {
+        let f = BoolFn::from_indices(4, &[0, 1, 2, 3, 7, 11, 15]);
+        let primes = prime_implicants(&f);
+        for point in all_points(4) {
+            let covered = primes.iter().any(|p| p.contains_point(&point));
+            assert_eq!(covered, f.is_on(&point), "point {point}");
+        }
+    }
+
+    #[test]
+    fn dont_cares_enlarge_primes_but_cover_only_on() {
+        // ON = {11}, DC = {10}: the prime can free x1.
+        let f = BoolFn::with_dont_cares(
+            2,
+            [Gf2Vec::from_bit_str("11").unwrap()],
+            [Gf2Vec::from_bit_str("10").unwrap()],
+        );
+        let primes = prime_implicants(&f);
+        assert_eq!(primes, vec![c("1-")]);
+    }
+
+    #[test]
+    fn empty_function_has_no_primes() {
+        let f = BoolFn::from_indices(3, &[]);
+        assert!(prime_implicants(&f).is_empty());
+    }
+
+    #[test]
+    fn adder_bit_prime_count_is_stable() {
+        // 2-bit adder sum bit: a known XOR-heavy function; QM yields only
+        // minterm primes for a pure parity.
+        let parity = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+        let primes = prime_implicants(&parity);
+        assert_eq!(primes.len(), 8);
+        assert!(primes.iter().all(|p| p.degree() == 0));
+    }
+}

@@ -1,0 +1,46 @@
+//! Minimize Conway's Game-of-Life next-state rule (the paper's `life`,
+//! 9 inputs) and walk the heuristic's quality/time trade-off: `SPP_k`
+//! for growing `k` (Figures 3–4 of the paper, on one function).
+//!
+//! ```text
+//! cargo run --release --example life_rule
+//! ```
+
+use std::time::Instant;
+
+use spp::benchgen::registry;
+use spp::core::{minimize_spp_heuristic, SppOptions};
+use spp::sp::minimize_sp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let life = registry::circuit("life").expect("life is a registered benchmark");
+    let f = life.output(0).clone();
+    println!("{life} — {}", life.description());
+
+    let sp = minimize_sp(&f, &spp::cover::Limits::default());
+    println!("SP baseline: {} literals in {} products", sp.literal_count(), sp.form.num_products());
+    println!();
+    println!("{:>3} {:>10} {:>12} {:>12}", "k", "SPP_k #L", "candidates", "time s");
+
+    let options = SppOptions::default();
+    let mut best = None;
+    for k in 0..4 {
+        let start = Instant::now();
+        let r = minimize_spp_heuristic(&f, k, &options);
+        r.form.check_realizes(&f)?;
+        println!(
+            "{k:>3} {:>10} {:>12} {:>12.3}",
+            r.literal_count(),
+            r.num_candidates,
+            start.elapsed().as_secs_f64()
+        );
+        best = Some(r);
+    }
+    let best = best.expect("loop ran");
+    println!();
+    println!("SPP_3 form ({} pseudoproducts):", best.form.num_pseudoproducts());
+    for term in best.form.terms() {
+        println!("  {}", term.cex());
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Minimize every output of an Espresso `.pla` file as an SPP form — a
+//! miniature command-line minimizer built on the public API.
+//!
+//! ```text
+//! cargo run --release --example pla_minimize [path/to/file.pla]
+//! ```
+//!
+//! Without an argument a small built-in PLA (a 2-bit comparator) is used.
+
+use spp::boolfn::Pla;
+use spp::core::{minimize_spp_exact, SppOptions};
+use spp::sp::minimize_sp;
+
+const SAMPLE: &str = "\
+# 2-bit comparator: a1 a0 b1 b0 -> (a < b), (a = b), (a > b)
+.i 4
+.o 3
+.ilb a0 a1 b0 b1
+.ob lt eq gt
+.p 16
+0000 010
+1000 001
+0100 001
+1100 001
+0010 100
+1010 010
+0110 001
+1110 001
+0001 100
+1001 100
+0101 010
+1101 001
+0011 100
+1011 100
+0111 100
+1111 010
+.e
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let text = match args.get(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => SAMPLE.to_owned(),
+    };
+    let pla: Pla = text.parse()?;
+    println!(
+        "PLA: {} inputs, {} outputs, {} terms",
+        pla.num_inputs(),
+        pla.num_outputs(),
+        pla.num_terms()
+    );
+
+    let options = SppOptions::default();
+    for (j, f) in pla.output_fns().iter().enumerate() {
+        let label = pla
+            .output_labels()
+            .get(j)
+            .cloned()
+            .unwrap_or_else(|| format!("out{j}"));
+        let sp = minimize_sp(f, &spp::cover::Limits::default());
+        let spp = minimize_spp_exact(f, &options);
+        spp.form.check_realizes(f)?;
+        println!();
+        println!("{label}: SP {} literals, SPP {} literals", sp.literal_count(), spp.literal_count());
+        println!("  SPP = {}", spp.form);
+    }
+    Ok(())
+}

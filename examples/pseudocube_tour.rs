@@ -1,0 +1,55 @@
+//! A guided tour of the paper's machinery at the API level: pseudocubes,
+//! canonical expressions, structures, Theorem 1 unions (both the affine
+//! and the literal-level Algorithm 1 forms) and partition-trie grouping.
+//!
+//! ```text
+//! cargo run --release --example pseudocube_tour
+//! ```
+
+use spp::core::{PartitionTrie, Pseudocube, Structure};
+use spp::gf2::Gf2Vec;
+
+fn main() {
+    // ----- Figure 1 of the paper: a pseudocube of eight points in B^6.
+    let points: Vec<Gf2Vec> =
+        ["010101", "010110", "011001", "011010", "110000", "110011", "111100", "111111"]
+            .iter()
+            .map(|s| Gf2Vec::from_bit_str(s).expect("valid bit strings"))
+            .collect();
+    let pc = Pseudocube::from_points(&points).expect("figure 1 is a pseudocube");
+    println!("Figure 1 pseudocube:");
+    println!("  degree          = {}", pc.degree());
+    println!("  canonical vars  = {:?}", pc.canonical_vars());
+    println!("  CEX             = {}", pc.cex());
+    println!("  STR             = {}", Structure::of(&pc));
+    println!("  literals        = {}", pc.literal_count());
+
+    // ----- Theorem 1: same structure ⟺ the union is a pseudocube.
+    let a = Pseudocube::from_cube(&"110".parse().expect("cube"));
+    let b = Pseudocube::from_cube(&"011".parse().expect("cube"));
+    let c = Pseudocube::from_cube(&"10-".parse().expect("cube"));
+    println!();
+    println!("Theorem 1:");
+    println!("  STR({}) = {}", a.cex(), Structure::of(&a));
+    println!("  STR({}) = {}", b.cex(), Structure::of(&b));
+    let union = a.union(&b).expect("equal structures unite");
+    println!("  union  = {}   ({} literals)", union.cex(), union.literal_count());
+    assert!(a.union(&c).is_none(), "different structures must not unite");
+
+    // ----- Algorithm 1 at the literal level agrees with the affine union.
+    let via_cex = a.cex().union(&b.cex()).expect("Algorithm 1 applies");
+    assert_eq!(via_cex.to_pseudocube().expect("valid product"), union);
+    println!("  Algorithm 1 (literal level) agrees: {via_cex}");
+
+    // ----- Partition trie: grouping by structure.
+    let mut trie = PartitionTrie::new(3);
+    for (i, p) in [&a, &b, &c].iter().enumerate() {
+        trie.insert(p, i as u32);
+    }
+    println!();
+    println!("Partition trie: {trie}");
+    for group in trie.groups() {
+        let members: Vec<String> = group.iter().map(|l| format!("#{}", l.payload)).collect();
+        println!("  group of {}: {}", group.len(), members.join(", "));
+    }
+}

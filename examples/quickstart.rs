@@ -1,0 +1,37 @@
+//! Quickstart: minimize one Boolean function as SP and as SPP and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spp::boolfn::BoolFn;
+use spp::core::{minimize_spp_exact, SppOptions};
+use spp::sp::minimize_sp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example (§3.4, variables renamed):
+    // f = x1·x2·x̄4 + x̄1·x2·x4 over three variables x0 = "x1", x1 = "x2",
+    // x2 = "x4". Point bit i is the value of variable x_i.
+    let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+
+    // Two-level minimization: the classic Quine-McCluskey + covering.
+    let sp = minimize_sp(&f, &spp::cover::Limits::default());
+    println!("SP  form: {}  ({} literals)", sp.form, sp.literal_count());
+
+    // Three-level SPP minimization (Ciriani, DAC 2001).
+    let spp = minimize_spp_exact(&f, &SppOptions::default());
+    println!("SPP form: {}  ({} literals)", spp.form, spp.literal_count());
+
+    // Both forms realize f; the SPP form is half the size.
+    spp.form.check_realizes(&f)?;
+    assert!(sp.form.realizes(&f));
+    assert!(spp.literal_count() < sp.literal_count());
+
+    println!();
+    println!(
+        "the EXOR gate folded {} SP literals into {} SPP literals",
+        sp.literal_count(),
+        spp.literal_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! `spp` — command-line Sum-of-Pseudoproducts minimizer.
+//!
+//! ```text
+//! spp minimize <file.pla> [options]     minimize every output of a PLA
+//! spp bench <name> [options]            minimize a built-in benchmark
+//! spp list                              list built-in benchmarks
+//!
+//! options:
+//!   --sp              two-level SP minimization instead of SPP
+//!   --2spp            restrict EXOR factors to two literals
+//!   --heuristic <k>   use the SPP_k heuristic instead of the exact algorithm
+//!   --multi           multi-output minimization with shared pseudoproducts
+//!   --verilog <mod>   print a structural Verilog module
+//!   --blif <model>    print a BLIF model
+//!   --quiet           only print the summary line
+//! ```
+
+use std::process::ExitCode;
+
+use spp::boolfn::{BoolFn, Pla};
+use spp::core::{
+    minimize_2spp, minimize_spp_exact, minimize_spp_heuristic, minimize_spp_multi, SppForm,
+    SppOptions,
+};
+use spp::netlist::Netlist;
+use spp::sp::minimize_sp;
+
+struct Options {
+    sp: bool,
+    two_spp: bool,
+    heuristic: Option<usize>,
+    multi: bool,
+    verilog: Option<String>,
+    blif: Option<String>,
+    quiet: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: spp <minimize file.pla | bench name | list> \
+         [--sp] [--2spp] [--heuristic k] [--multi] \
+         [--verilog module] [--blif model] [--quiet]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+
+    let mut options = Options {
+        sp: false,
+        two_spp: false,
+        heuristic: None,
+        multi: false,
+        verilog: None,
+        blif: None,
+        quiet: false,
+    };
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sp" => options.sp = true,
+            "--2spp" => options.two_spp = true,
+            "--multi" => options.multi = true,
+            "--quiet" => options.quiet = true,
+            "--heuristic" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => options.heuristic = Some(k),
+                None => return usage(),
+            },
+            "--verilog" => match it.next() {
+                Some(m) => options.verilog = Some(m.clone()),
+                None => return usage(),
+            },
+            "--blif" => match it.next() {
+                Some(m) => options.blif = Some(m.clone()),
+                None => return usage(),
+            },
+            other if !other.starts_with("--") => positional.push(other),
+            _ => return usage(),
+        }
+    }
+
+    match command.as_str() {
+        "list" => {
+            for name in spp::benchgen::registry::ALL_NAMES {
+                let c = spp::benchgen::registry::circuit(name).expect("registered");
+                println!("{c} — {}", c.description());
+            }
+            ExitCode::SUCCESS
+        }
+        "minimize" => {
+            let Some(path) = positional.first() else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("spp: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let pla: Pla = match text.parse() {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("spp: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let labels: Vec<String> = (0..pla.num_outputs())
+                .map(|j| {
+                    pla.output_labels()
+                        .get(j)
+                        .cloned()
+                        .unwrap_or_else(|| format!("f{j}"))
+                })
+                .collect();
+            run(&pla.output_fns(), &labels, &options)
+        }
+        "bench" => {
+            let Some(name) = positional.first() else {
+                return usage();
+            };
+            let Some(circuit) = spp::benchgen::registry::circuit(name) else {
+                eprintln!(
+                    "spp: unknown benchmark {name:?}; try `spp list`"
+                );
+                return ExitCode::FAILURE;
+            };
+            let labels: Vec<String> =
+                (0..circuit.outputs().len()).map(|j| format!("{name}[{j}]")).collect();
+            run(circuit.outputs(), &labels, &options)
+        }
+        _ => usage(),
+    }
+}
+
+fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
+    let spp_options = SppOptions::default();
+    let mut forms: Vec<SppForm> = Vec::new();
+
+    if options.multi {
+        let r = minimize_spp_multi(outputs, &spp_options);
+        for (form, f) in r.forms.iter().zip(outputs) {
+            if let Err(e) = form.check_realizes(f) {
+                eprintln!("spp: internal verification failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "multi-output SPP: {} shared pseudoproducts, {} shared literals \
+             ({} counted per output){}",
+            r.shared_terms.len(),
+            r.shared_literal_count,
+            r.separate_literal_count(),
+            if r.optimal { "" } else { " [upper bound]" }
+        );
+        forms = r.forms;
+    } else {
+        for (f, label) in outputs.iter().zip(labels) {
+            let (form, tag, optimal) = if options.sp {
+                let r = minimize_sp(f, &spp_options.cover_limits);
+                let form = SppForm::new(
+                    f.num_vars(),
+                    r.form.cubes().iter().map(spp::core::Pseudocube::from_cube).collect(),
+                );
+                (form, "SP", r.optimal)
+            } else if options.two_spp {
+                let r = minimize_2spp(f, &spp_options);
+                (r.form.clone(), "2-SPP", r.optimal)
+            } else if let Some(k) = options.heuristic {
+                let k = k.min(f.num_vars().saturating_sub(1));
+                let r = minimize_spp_heuristic(f, k, &spp_options);
+                (r.form.clone(), "SPP_k", r.optimal)
+            } else {
+                let r = minimize_spp_exact(f, &spp_options);
+                (r.form.clone(), "SPP", r.optimal)
+            };
+            if let Err(e) = form.check_realizes(f) {
+                eprintln!("spp: internal verification failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "{label}: {tag} {} literals, {} terms{}",
+                form.literal_count(),
+                form.num_pseudoproducts(),
+                if optimal { "" } else { " [upper bound]" }
+            );
+            if !options.quiet {
+                println!("  {form}");
+            }
+            forms.push(form);
+        }
+    }
+
+    let net = Netlist::from_spp_forms(&forms);
+    if !options.quiet {
+        println!("{net}");
+    }
+    if let Some(module) = &options.verilog {
+        print!("{}", net.to_verilog(module));
+    }
+    if let Some(model) = &options.blif {
+        print!("{}", net.to_blif(model));
+    }
+    ExitCode::SUCCESS
+}

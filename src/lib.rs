@@ -1,0 +1,20 @@
+//! # spp — Sum-of-Pseudoproducts logic minimization
+//!
+//! Facade crate re-exporting the whole `spp` workspace. See the individual
+//! crates for details; the [`prelude`] brings the common types into scope.
+
+#![forbid(unsafe_code)]
+
+pub use spp_benchgen as benchgen;
+pub use spp_boolfn as boolfn;
+pub use spp_core as core;
+pub use spp_cover as cover;
+pub use spp_gf2 as gf2;
+pub use spp_netlist as netlist;
+pub use spp_sp as sp;
+
+/// The most commonly used types and functions of the workspace.
+pub mod prelude {
+    pub use spp_boolfn::{BoolFn, Cube, Pla};
+    pub use spp_gf2::{EchelonBasis, Gf2Vec};
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests of the `spp` command-line binary.
+
+use std::process::Command;
+
+fn spp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spp"))
+}
+
+fn write_pla(name: &str, text: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("spp-cli-test-{name}.pla"));
+    std::fs::write(&path, text).expect("temp file writable");
+    path
+}
+
+#[test]
+fn list_names_benchmarks() {
+    let out = spp().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("adr4: 8 inputs, 5 outputs"));
+    assert!(text.contains("life: 9 inputs, 1 outputs"));
+}
+
+#[test]
+fn minimize_pla_to_spp() {
+    let path = write_pla("xor", ".i 2\n.o 1\n01 1\n10 1\n.e\n");
+    let out = spp().arg("minimize").arg(&path).output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SPP 2 literals, 1 terms"), "{text}");
+    assert!(text.contains("(x0⊕x1)"), "{text}");
+}
+
+#[test]
+fn sp_flag_switches_to_two_level() {
+    let path = write_pla("xor-sp", ".i 2\n.o 1\n01 1\n10 1\n.e\n");
+    let out = spp().arg("minimize").arg(&path).arg("--sp").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SP 4 literals, 2 terms"), "{text}");
+}
+
+#[test]
+fn verilog_emission_contains_module() {
+    let path = write_pla("xor-v", ".i 2\n.o 1\n01 1\n10 1\n.e\n");
+    let out = spp()
+        .arg("minimize")
+        .arg(&path)
+        .arg("--quiet")
+        .arg("--verilog")
+        .arg("parity")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("module parity"), "{text}");
+    assert!(text.contains("^"), "{text}");
+    assert!(text.contains("endmodule"), "{text}");
+}
+
+#[test]
+fn blif_emission_contains_model() {
+    let path = write_pla("xor-b", ".i 2\n.o 1\n01 1\n10 1\n.e\n");
+    let out = spp()
+        .arg("minimize")
+        .arg(&path)
+        .arg("--quiet")
+        .arg("--blif")
+        .arg("parity")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(".model parity"), "{text}");
+    assert!(text.contains(".end"), "{text}");
+}
+
+#[test]
+fn bench_subcommand_minimizes_builtin() {
+    let out = spp()
+        .arg("bench")
+        .arg("adr4")
+        .arg("--heuristic")
+        .arg("0")
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("adr4[0]"), "{text}");
+    assert!(text.contains("adr4[4]"), "{text}");
+}
+
+#[test]
+fn unknown_benchmark_fails_with_hint() {
+    let out = spp().arg("bench").arg("nope").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown benchmark"), "{err}");
+}
+
+#[test]
+fn bad_usage_fails() {
+    let out = spp().output().expect("binary runs");
+    assert!(!out.status.success());
+    let out = spp().arg("minimize").output().expect("binary runs");
+    assert!(!out.status.success());
+    let out = spp().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn multi_flag_reports_sharing() {
+    let path = write_pla(
+        "multi",
+        ".i 3\n.o 2\n001 10\n010 10\n100 11\n111 11\n.e\n",
+    );
+    let out = spp().arg("minimize").arg(&path).arg("--multi").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("multi-output SPP"), "{text}");
+    assert!(text.contains("shared literals"), "{text}");
+}

@@ -1,0 +1,166 @@
+//! Every worked example of the paper, end-to-end through the facade crate.
+
+use spp::core::{
+    minimize_spp_exact, minimize_spp_heuristic, Cex, ExorFactor, Pseudocube, SppOptions, Structure,
+};
+use spp::gf2::Gf2Vec;
+use spp::prelude::*;
+
+fn v(s: &str) -> Gf2Vec {
+    Gf2Vec::from_bit_str(s).unwrap()
+}
+
+fn fac(n: usize, vars: &[usize], negate: bool) -> ExorFactor {
+    ExorFactor::new(Gf2Vec::from_index_bits(n, vars), negate)
+}
+
+/// §2, Figure 1: the canonical matrix with 2^3 rows in B^6.
+#[test]
+fn figure1_pseudocube_and_cex() {
+    let points: Vec<Gf2Vec> =
+        ["010101", "010110", "011001", "011010", "110000", "110011", "111100", "111111"]
+            .iter()
+            .map(|s| v(s))
+            .collect();
+    let pc = Pseudocube::from_points(&points).expect("figure 1 is a pseudocube");
+    // Canonical columns c0, c2, c4.
+    assert_eq!(pc.canonical_vars(), &[0, 2, 4]);
+    // "The canonical expression for the pseudocube is
+    //  CEX = x1 · (x0 ⊕ x2 ⊕ x3) · (x0 ⊕ x4 ⊕ x5)".
+    assert_eq!(pc.cex().to_string(), "x1·(x0⊕x2⊕x3)·(x0⊕x4⊕x5)");
+}
+
+/// §1: the example SPP expression is a sum of pseudoproducts; each term
+/// parses into a pseudocube via the affine normalization.
+#[test]
+fn intro_spp_expression_terms_are_pseudoproducts() {
+    // (x0 ⊕ x̄1)·x4·(x0 ⊕ x3 ⊕ x̄6) over B^7 is a valid pseudoproduct.
+    let term = Cex::new(
+        7,
+        vec![fac(7, &[0, 1], true), fac(7, &[4], false), fac(7, &[0, 3, 6], true)],
+    );
+    let pc = term.to_pseudocube().expect("satisfiable product");
+    assert_eq!(pc.degree(), 4); // 7 vars − 3 independent factors
+    // Round-trip: the canonical expression describes the same point set.
+    for p in term.to_pseudocube().unwrap().points() {
+        assert!(term.eval(&p));
+    }
+}
+
+/// §3.1: NORM_EXOR((x0⊕x2⊕x5), (x0⊕x̄1)) = x1⊕x2⊕x̄5.
+#[test]
+fn norm_exor_worked_example() {
+    let f1 = fac(9, &[0, 2, 5], false);
+    let f2 = fac(9, &[0, 1], true);
+    let r = f1.norm_exor(&f2).unwrap();
+    assert_eq!(r.vars().iter_ones().collect::<Vec<_>>(), vec![1, 2, 5]);
+    assert!(r.is_complemented());
+}
+
+/// §3.1: expressions (1) and (2) share a structure; their union's CEX is
+/// the paper's displayed result with 12 literals, while each input has 10.
+#[test]
+fn expressions_1_and_2_union() {
+    let e1 = Cex::new(
+        9,
+        vec![
+            fac(9, &[0, 1], true),
+            fac(9, &[4], false),
+            fac(9, &[0, 2, 5], true),
+            fac(9, &[3, 6], false),
+            fac(9, &[3, 8], false),
+        ],
+    );
+    let e2 = Cex::new(
+        9,
+        vec![
+            fac(9, &[0, 1], false),
+            fac(9, &[4], true),
+            fac(9, &[0, 2, 5], false),
+            fac(9, &[3, 6], false),
+            fac(9, &[3, 8], true),
+        ],
+    );
+    assert_eq!(Structure::of_cex(&e1), Structure::of_cex(&e2));
+    assert_eq!(e1.literal_count(), 10);
+    assert_eq!(e2.literal_count(), 10);
+
+    let union = e1.union(&e2).expect("same structure");
+    assert_eq!(union.literal_count(), 12);
+    assert_eq!(
+        union.to_string(),
+        "(x0⊕x1⊕x4)·(x1⊕x2⊕x̄5)·(x3⊕x6)·(x0⊕x1⊕x3⊕x8)"
+    );
+    // The paper: "the canonical variables of CEX(P) are x0,x1,x2,x3,x7".
+    let pc = union.to_pseudocube().unwrap();
+    assert_eq!(pc.canonical_vars(), &[0, 1, 2, 3, 7]);
+
+    // Theorem 1 in the affine view gives the identical expression.
+    let p1 = e1.to_pseudocube().unwrap();
+    let p2 = e2.to_pseudocube().unwrap();
+    assert_eq!(p1.union(&p2).unwrap().cex(), union);
+
+    // The paper also notes P1 and P2 have canonical variables x0,x2,x3,x7.
+    assert_eq!(p1.canonical_vars(), &[0, 2, 3, 7]);
+    assert_eq!(p2.canonical_vars(), &[0, 2, 3, 7]);
+}
+
+/// §3.2, Definition 2: STR((x0⊕x1⊕x̄3)·(x0⊕x4⊕x5)·x̄7).
+#[test]
+fn definition2_structure() {
+    let cex = Cex::new(
+        8,
+        vec![fac(8, &[0, 1, 3], true), fac(8, &[0, 4, 5], false), fac(8, &[7], true)],
+    );
+    assert_eq!(Structure::of_cex(&cex).to_string(), "(x0⊕x1⊕x3)·(x0⊕x4⊕x5)·x7");
+}
+
+/// §3.4: "letting x1x2x̄4 and x̄1x2x4 be members of the set of prime
+/// implicants, the ascendant phase computes x2(x1 ⊕ x4)".
+#[test]
+fn heuristic_ascendant_example() {
+    // Renamed to three variables y0 = x1, y1 = x2, y2 = x4.
+    let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+    let r = minimize_spp_heuristic(&f, 0, &SppOptions::default());
+    assert_eq!(r.literal_count(), 3);
+    assert_eq!(r.form.num_pseudoproducts(), 1);
+    assert_eq!(r.form.terms()[0].cex().to_string(), "x1·(x0⊕x2)");
+    r.form.check_realizes(&f).unwrap();
+
+    // The exact algorithm agrees.
+    let e = minimize_spp_exact(&f, &SppOptions::default());
+    assert_eq!(e.literal_count(), 3);
+}
+
+/// §3.1 footnote 1: x̄ ⊕ y = x ⊕ ȳ = complement of (x ⊕ y).
+#[test]
+fn footnote1_complement_normalization() {
+    // Both mixed-complement writings normalize to the same factor value.
+    let xy = fac(2, &[0, 1], true);
+    for x in 0..4u64 {
+        let p = Gf2Vec::from_u64(2, x);
+        let x0 = p.get(0);
+        let x1 = p.get(1);
+        assert_eq!(xy.eval(&p), !(x0 ^ x1));
+        assert_eq!(xy.eval(&p), (!x0) ^ x1);
+        assert_eq!(xy.eval(&p), x0 ^ !x1);
+    }
+}
+
+/// Theorem 2 cardinality on a worked case: a degree-3 pseudocube has
+/// 2^4 − 2 = 14 sub-pseudocubes of degree 2.
+#[test]
+fn theorem2_cardinality() {
+    let points: Vec<Gf2Vec> =
+        ["010101", "010110", "011001", "011010", "110000", "110011", "111100", "111111"]
+            .iter()
+            .map(|s| v(s))
+            .collect();
+    let pc = Pseudocube::from_points(&points).unwrap();
+    let subs = spp::core::sub_pseudocubes(&pc);
+    assert_eq!(subs.len(), 14);
+    for s in &subs {
+        assert!(pc.covers(s));
+        assert_eq!(s.degree(), 2);
+    }
+}

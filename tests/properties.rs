@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) of the core invariants, spanning the
+//! whole workspace through the facade.
+
+use proptest::prelude::*;
+use spp::core::{
+    minimize_spp_exact, minimize_spp_heuristic, sub_pseudocubes, Pseudocube, SppOptions,
+};
+use spp::gf2::{EchelonBasis, Gf2Vec};
+use spp::prelude::*;
+use spp::sp::{minimize_sp, prime_implicants};
+
+/// A random function on `n ≤ 5` variables as an on-set bitmap.
+fn small_fn() -> impl Strategy<Value = BoolFn> {
+    (2usize..=5).prop_flat_map(|n| {
+        proptest::collection::vec(any::<bool>(), 1 << n)
+            .prop_map(move |bits| BoolFn::from_truth_fn(n, |x| bits[x as usize]))
+    })
+}
+
+/// A random pseudocube in `B^n`, `n ≤ 7`, by spanning random vectors.
+fn small_pseudocube() -> impl Strategy<Value = Pseudocube> {
+    (3usize..=7).prop_flat_map(|n| {
+        let vecs = proptest::collection::vec(0u64..(1 << n), 0..=3);
+        (0u64..(1 << n), vecs).prop_map(move |(rep, gens)| {
+            let mut dirs = EchelonBasis::new(n);
+            for g in gens {
+                dirs.insert(Gf2Vec::from_u64(n, g));
+            }
+            Pseudocube::from_parts(Gf2Vec::from_u64(n, rep), dirs)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The CEX expression is exactly the characteristic function.
+    #[test]
+    fn cex_is_characteristic_function(pc in small_pseudocube()) {
+        let cex = pc.cex();
+        prop_assert_eq!(cex.literal_count(), pc.literal_count());
+        for x in 0..(1u64 << pc.num_vars()) {
+            let p = Gf2Vec::from_u64(pc.num_vars(), x);
+            prop_assert_eq!(cex.eval(&p), pc.contains(&p));
+        }
+    }
+
+    /// points → pseudocube → points round-trips.
+    #[test]
+    fn pseudocube_points_roundtrip(pc in small_pseudocube()) {
+        let points: Vec<Gf2Vec> = pc.points().collect();
+        let back = Pseudocube::from_points(&points).expect("points form a pseudocube");
+        prop_assert_eq!(back, pc);
+    }
+
+    /// CEX → pseudocube round-trips through the affine normalizer.
+    #[test]
+    fn cex_roundtrip(pc in small_pseudocube()) {
+        prop_assert_eq!(pc.cex().to_pseudocube().expect("satisfiable"), pc);
+    }
+
+    /// Theorem 1, both directions: union of same-structure pseudocubes is a
+    /// pseudocube containing exactly both; different structures never
+    /// produce a pseudocube union.
+    #[test]
+    fn theorem1(a in small_pseudocube(), shift in any::<u64>()) {
+        let n = a.num_vars();
+        let alpha = Gf2Vec::from_u64(n, shift & ((1 << n) - 1));
+        let b = a.transform(&alpha);
+        match a.union(&b) {
+            Some(u) => {
+                prop_assert_ne!(&a, &b);
+                prop_assert_eq!(u.degree(), a.degree() + 1);
+                let mut expected: Vec<_> = a.points().chain(b.points()).collect();
+                expected.sort_unstable();
+                expected.dedup();
+                let mut got: Vec<_> = u.points().collect();
+                got.sort_unstable();
+                prop_assert_eq!(got, expected);
+            }
+            None => prop_assert_eq!(&a, &b), // α(P) always shares the structure
+        }
+    }
+
+    /// Algorithm 1 (literal level) computes the same canonical expression
+    /// as the affine union.
+    #[test]
+    fn algorithm1_agrees_with_affine_union(a in small_pseudocube(), shift in any::<u64>()) {
+        let n = a.num_vars();
+        let alpha = Gf2Vec::from_u64(n, shift & ((1 << n) - 1));
+        let b = a.transform(&alpha);
+        let affine = a.union(&b);
+        let literal = a.cex().union(&b.cex());
+        match (affine, literal) {
+            (Some(u), Some(c)) => prop_assert_eq!(u.cex(), c),
+            (None, None) => {}
+            (x, y) => prop_assert!(false, "disagreement: affine={:?} literal={:?}", x, y),
+        }
+    }
+
+    /// Theorem 2: exactly 2^{m+1} − 2 distinct proper sub-pseudocubes of
+    /// one degree less, and re-uniting any hyperplane pair restores P.
+    #[test]
+    fn theorem2(pc in small_pseudocube()) {
+        let m = pc.degree();
+        let subs = sub_pseudocubes(&pc);
+        prop_assert_eq!(subs.len(), (1usize << (m + 1)) - 2);
+        let distinct: std::collections::HashSet<_> = subs.iter().cloned().collect();
+        prop_assert_eq!(distinct.len(), subs.len());
+        for pair in subs.chunks(2) {
+            prop_assert!(pc.covers(&pair[0]));
+            prop_assert_eq!(pair[0].union(&pair[1]).expect("halves unite"), pc.clone());
+        }
+    }
+
+    /// The exact SPP form verifies and never uses more literals than the
+    /// exact SP form.
+    #[test]
+    fn exact_spp_at_most_sp(f in small_fn()) {
+        let spp = minimize_spp_exact(&f, &SppOptions::default());
+        prop_assert!(spp.form.check_realizes(&f).is_ok());
+        let sp = minimize_sp(&f, &spp::cover::Limits::default());
+        prop_assert!(sp.form.realizes(&f));
+        prop_assert!(spp.literal_count() <= sp.literal_count(),
+            "SPP {} > SP {}", spp.literal_count(), sp.literal_count());
+    }
+
+    /// SPP_k quality is monotone in k and SPP_{n−1} is exact.
+    #[test]
+    fn heuristic_monotone_and_exact_at_full_depth(f in small_fn()) {
+        prop_assume!(!f.is_zero());
+        let options = SppOptions::default();
+        let exact = minimize_spp_exact(&f, &options);
+        let mut prev = u64::MAX;
+        for k in 0..f.num_vars() {
+            let r = minimize_spp_heuristic(&f, k, &options);
+            prop_assert!(r.form.check_realizes(&f).is_ok());
+            prop_assert!(r.literal_count() <= prev);
+            prop_assert!(r.literal_count() >= exact.literal_count());
+            prev = r.literal_count();
+        }
+        prop_assert_eq!(prev, exact.literal_count());
+    }
+
+    /// Prime implicants are implicants, prime, and cover the function.
+    #[test]
+    fn prime_implicants_are_sound_and_complete(f in small_fn()) {
+        let primes = prime_implicants(&f);
+        for p in &primes {
+            prop_assert!(p.points().all(|pt| f.is_coverable(&pt)));
+        }
+        for pt in f.on_set() {
+            prop_assert!(primes.iter().any(|p| p.contains_point(pt)));
+        }
+    }
+
+    /// Pseudocube containment agrees with point-set containment.
+    #[test]
+    fn covers_agrees_with_point_sets(a in small_pseudocube(), b in small_pseudocube()) {
+        prop_assume!(a.num_vars() == b.num_vars());
+        let a_points: std::collections::HashSet<_> = a.points().collect();
+        let subset = b.points().all(|p| a_points.contains(&p));
+        prop_assert_eq!(a.covers(&b), subset);
+    }
+}
