@@ -23,6 +23,7 @@ fn options() -> SppOptions {
             max_pseudocubes: 100_000,
             max_level_size: 80_000,
             time_limit: None,
+            parallelism: spp_core::Parallelism::AUTO,
         },
         cover_limits: spp_cover::Limits {
             max_nodes: 20_000,

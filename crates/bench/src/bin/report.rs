@@ -1,12 +1,23 @@
 //! Orchestrator: runs every table and figure binary of the harness and
-//! collects their output into one markdown report.
+//! collects their output into one markdown report, or — with `--json` —
+//! emits the machine-readable perf-regression baseline `BENCH_spp.json`.
 //!
 //! ```text
 //! cargo run --release -p spp-bench --bin report [--full] [-o report.md]
+//! cargo run --release -p spp-bench --bin report -- --json [-o BENCH_spp.json]
 //! ```
+//!
+//! The JSON report times EPPP construction on the harness's hardest
+//! outputs (the "additional rows" of `table2`) under three configurations
+//! — partition trie sequential, partition trie at the full worker budget,
+//! and the quadratic baseline — so a CI diff of two baselines shows both
+//! algorithmic and parallel-scaling regressions.
 
 use std::io::Write as _;
 use std::process::Command;
+
+use spp_bench::{circuit_or_die, timed_eppp_with, Mode};
+use spp_core::{Grouping, Parallelism};
 
 const SECTIONS: &[(&str, &str)] = &[
     ("Table 1 — SP vs SPP minimal forms", "table1"),
@@ -18,15 +29,126 @@ const SECTIONS: &[(&str, &str)] = &[
     ("Extension — SP vs 2-SPP vs SPP", "forms"),
 ];
 
+/// The benchmark outputs timed by the JSON baseline: the harness's
+/// hardest outputs (same list as `table2`'s additional rows).
+const JSON_ROWS: &[(&str, usize)] =
+    &[("life", 0), ("adr4", 3), ("dist", 1), ("root", 1), ("mlp4", 5)];
+
+/// One measured configuration of one benchmark output.
+struct BenchEntry {
+    name: String,
+    grouping: &'static str,
+    threads: usize,
+    wall_ms: f64,
+    comparisons: u64,
+    eppp: usize,
+    max_level: usize,
+    spp_literals: u64,
+    truncated: bool,
+}
+
+impl BenchEntry {
+    fn to_json(&self) -> String {
+        // All fields are numbers, bools or [A-Za-z0-9_()] names — no
+        // escaping needed.
+        format!(
+            "    {{\"name\": \"{}\", \"grouping\": \"{}\", \"threads\": {}, \
+             \"wall_ms\": {:.3}, \"comparisons\": {}, \"eppp\": {}, \
+             \"max_level\": {}, \"spp_literals\": {}, \"truncated\": {}}}",
+            self.name,
+            self.grouping,
+            self.threads,
+            self.wall_ms,
+            self.comparisons,
+            self.eppp,
+            self.max_level,
+            self.spp_literals,
+            self.truncated
+        )
+    }
+}
+
+/// Minimum-literal cover over an EPPP set (the `#L` the entries record).
+fn spp_literals(f: &spp_boolfn::BoolFn, set: &spp_core::EpppSet, mode: Mode) -> u64 {
+    let on = f.on_set();
+    if on.is_empty() {
+        return 0;
+    }
+    let mut problem = spp_cover::CoverProblem::new(on.len());
+    problem.add_columns_par(Parallelism::AUTO, set.pseudocubes.len(), |c| {
+        let pc = &set.pseudocubes[c];
+        let rows =
+            on.iter().enumerate().filter(|(_, p)| pc.contains(p)).map(|(i, _)| i).collect();
+        (rows, pc.literal_count().max(1))
+    });
+    spp_cover::solve_auto(&problem, &mode.sp_limits())
+        .columns
+        .iter()
+        .map(|&c| set.pseudocubes[c].literal_count())
+        .sum()
+}
+
+/// Writes the machine-readable benchmark baseline.
+fn emit_json(out_path: &str, full: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let mode = if full { Mode::Full } else { Mode::Fast };
+    let auto_threads = Parallelism::AUTO.threads();
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    for &(name, idx) in JSON_ROWS {
+        let f = circuit_or_die(name).output_on_support(idx);
+        let configs = [
+            ("trie", Grouping::PartitionTrie, Parallelism::sequential()),
+            ("trie", Grouping::PartitionTrie, Parallelism::AUTO),
+            ("quadratic", Grouping::Quadratic, Parallelism::sequential()),
+        ];
+        let mut literals = None;
+        for (grouping_label, grouping, parallelism) in configs {
+            let limits =
+                spp_core::GenLimits { parallelism, ..spp_bench::table2_gen_limits(mode) };
+            eprintln!("timing {name}({idx}) {grouping_label} x{} ...", parallelism.threads());
+            let (set, dt) = timed_eppp_with(&f, grouping, &limits);
+            // #L depends only on the candidate set; every non-truncated
+            // configuration yields the same one, so solve the cover once.
+            let lits = *literals
+                .get_or_insert_with(|| spp_literals(&f, &set, mode));
+            entries.push(BenchEntry {
+                name: format!("{name}({idx})"),
+                grouping: grouping_label,
+                threads: parallelism.threads(),
+                wall_ms: dt.as_secs_f64() * 1e3,
+                comparisons: set.stats.comparisons,
+                eppp: set.pseudocubes.len(),
+                max_level: set.stats.levels.iter().map(|l| l.size).max().unwrap_or(0),
+                spp_literals: lits,
+                truncated: set.stats.truncated,
+            });
+        }
+    }
+    let body: Vec<String> = entries.iter().map(BenchEntry::to_json).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"spp-bench/1\",\n  \"profile\": \"{}\",\n  \
+         \"auto_threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        if full { "full" } else { "fast" },
+        auto_threads,
+        body.join(",\n")
+    );
+    std::fs::write(out_path, json)?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let json = args.iter().any(|a| a == "--json");
     let out_path = args
         .iter()
         .position(|a| a == "-o")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "report.md".to_owned());
+        .unwrap_or_else(|| if json { "BENCH_spp.json".to_owned() } else { "report.md".to_owned() });
+    if json {
+        return emit_json(&out_path, full);
+    }
 
     // The sibling binaries live next to this one.
     let own = std::env::current_exe()?;

@@ -51,18 +51,20 @@ fn main() {
         let (base_set, base_dt) = spp_bench::timed_eppp_with(&f, Grouping::Quadratic, &limits);
         let (trie_set, trie_dt) = spp_bench::timed_eppp_with(&f, Grouping::PartitionTrie, &limits);
 
-        // #L of the minimal expression over the trie-built EPPP set.
-        let mut problem = spp_cover::CoverProblem::new(f.on_set().len());
-        for pc in &trie_set.pseudocubes {
-            let rows: Vec<usize> = f
-                .on_set()
+        // #L of the minimal expression over the trie-built EPPP set; the
+        // per-candidate row scans fan out across workers.
+        let on = f.on_set();
+        let mut problem = spp_cover::CoverProblem::new(on.len());
+        problem.add_columns_par(limits.parallelism, trie_set.pseudocubes.len(), |c| {
+            let pc = &trie_set.pseudocubes[c];
+            let rows = on
                 .iter()
                 .enumerate()
                 .filter(|(_, p)| pc.contains(p))
                 .map(|(i, _)| i)
                 .collect();
-            problem.add_column(&rows, pc.literal_count().max(1));
-        }
+            (rows, pc.literal_count().max(1))
+        });
         let literals: u64 = if f.on_set().is_empty() {
             0
         } else {

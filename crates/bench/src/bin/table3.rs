@@ -8,7 +8,7 @@
 //! cargo run --release -p spp-bench --bin table3 [--full]
 //! ```
 
-use spp_bench::{circuit_or_die, heuristic_point, secs, sp_vs_spp, starred, timed, Mode};
+use spp_bench::{circuit_or_die, heuristic_sum, secs, sp_vs_spp, starred, Mode};
 
 /// (name, paper Av or None, paper SPP_0 #L, paper SPP_0 time, paper exact
 /// #L or None for starred, paper exact time or None)
@@ -42,19 +42,12 @@ fn main() {
         let outputs: Vec<_> =
             (0..circuit.outputs().len()).map(|j| circuit.output_on_support(j)).collect();
 
-        // Heuristic SPP_0 per output.
-        let mut h_lits = 0u64;
-        let mut h_trunc = false;
-        let (_, h_dt) = timed(|| {
-            for f in &outputs {
-                if f.is_zero() || f.num_vars() == 0 {
-                    continue;
-                }
-                let (r, _) = heuristic_point(f, 0, mode);
-                h_lits += r.literal_count();
-                h_trunc |= r.gen_stats.truncated;
-            }
-        });
+        // Heuristic SPP_0 per output, fanned out across workers.
+        let nonzero: Vec<_> =
+            outputs.iter().filter(|f| !f.is_zero() && f.num_vars() > 0).cloned().collect();
+        let (h_results, h_dt) = heuristic_sum(&nonzero, 0, mode);
+        let h_lits: u64 = h_results.iter().map(spp_core::SppMinResult::literal_count).sum();
+        let h_trunc = h_results.iter().any(|r| r.gen_stats.truncated);
 
         // Exact SPP + SP (for Av).
         let (sp, spp) = sp_vs_spp(&outputs, mode);

@@ -70,6 +70,7 @@ impl Mode {
                     max_pseudocubes: 150_000,
                     max_level_size: 100_000,
                     time_limit: Some(Duration::from_secs(10)),
+                    parallelism: spp_core::Parallelism::AUTO,
                 },
                 cover_limits: spp_cover::Limits {
                     max_nodes: 200_000,
@@ -83,6 +84,7 @@ impl Mode {
                     max_pseudocubes: 600_000,
                     max_level_size: 400_000,
                     time_limit: Some(Duration::from_secs(300)),
+                    parallelism: spp_core::Parallelism::AUTO,
                 },
                 cover_limits: spp_cover::Limits {
                     max_nodes: 2_000_000,
@@ -163,18 +165,51 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// that as a bug, not a data point.
 #[must_use]
 pub fn sp_vs_spp(outputs: &[BoolFn], mode: Mode) -> (SpAggregate, SppAggregate) {
-    let mut sp_agg = SpAggregate::default();
-    let mut spp_agg = SppAggregate::default();
-    let options = mode.spp_options();
-    for f in outputs {
+    let mut options = mode.spp_options();
+    let threads = options.gen_limits.parallelism.threads();
+    // Outputs are independent: fan the per-output runs across the worker
+    // budget, give each run's own sweep the leftover workers, and fold the
+    // results in output order so the aggregates match the serial harness.
+    let outer = threads.min(outputs.len()).max(1);
+    options.gen_limits.parallelism = spp_core::Parallelism::fixed((threads / outer).max(1));
+    let runs = spp_par::par_map_indices(outer, outputs.len(), |i| {
+        let f = &outputs[i];
         let sp = minimize_sp(f, &mode.sp_limits());
         assert!(sp.form.realizes(f), "SP form failed verification");
-        add_sp(&mut sp_agg, &sp);
         let (spp, dt) = timed(|| minimize_spp_exact(f, &options));
         spp.form.check_realizes(f).expect("SPP form failed verification");
-        add_spp(&mut spp_agg, &spp, dt);
+        (sp, spp, dt)
+    });
+    let mut sp_agg = SpAggregate::default();
+    let mut spp_agg = SppAggregate::default();
+    for (sp, spp, dt) in &runs {
+        add_sp(&mut sp_agg, sp);
+        add_spp(&mut spp_agg, spp, *dt);
     }
     (sp_agg, spp_agg)
+}
+
+/// Runs the heuristic `SPP_k` over every output in parallel, verifying
+/// each form, and returns the per-output results in input order plus the
+/// total wall-clock time of the batch.
+///
+/// # Panics
+///
+/// Panics if a synthesized form fails verification.
+#[must_use]
+pub fn heuristic_sum(outputs: &[BoolFn], k: usize, mode: Mode) -> (Vec<SppMinResult>, Duration) {
+    let mut options = mode.spp_options();
+    let threads = options.gen_limits.parallelism.threads();
+    let outer = threads.min(outputs.len()).max(1);
+    options.gen_limits.parallelism = spp_core::Parallelism::fixed((threads / outer).max(1));
+    timed(|| {
+        spp_par::par_map_indices(outer, outputs.len(), |i| {
+            let f = &outputs[i];
+            let r = minimize_spp_heuristic(f, k.min(f.num_vars().saturating_sub(1)), &options);
+            r.form.check_realizes(f).expect("heuristic SPP form failed verification");
+            r
+        })
+    })
 }
 
 /// Runs the heuristic `SPP_k` on one function, verifying the result.
@@ -214,11 +249,13 @@ pub fn table2_gen_limits(mode: Mode) -> spp_core::GenLimits {
             max_pseudocubes: 400_000,
             max_level_size: 250_000,
             time_limit: Some(Duration::from_secs(30)),
+            parallelism: spp_core::Parallelism::AUTO,
         },
         Mode::Full => spp_core::GenLimits {
             max_pseudocubes: 1_000_000,
             max_level_size: 700_000,
             time_limit: Some(Duration::from_secs(900)),
+            parallelism: spp_core::Parallelism::AUTO,
         },
     }
 }

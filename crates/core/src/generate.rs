@@ -1,11 +1,38 @@
 //! Generation of the extended prime pseudoproduct (EPPP) set — step 1–2 of
-//! Algorithm 2, with three interchangeable grouping strategies.
+//! Algorithm 2, with three interchangeable grouping strategies and a
+//! deterministic parallel union sweep.
+//!
+//! # Parallel execution
+//!
+//! With [`GenLimits::parallelism`] above one worker, each level's union
+//! sweep is split into *units* (contiguous outer-index ranges of structure
+//! groups, weighted by their pair count) and statically assigned to scoped
+//! worker threads. Discard flags are worker-local, merged by OR — a flag
+//! is set iff *some* pair sets it, independent of the partition. Dedup is
+//! global but sharded by the structure's cached hash: each distinct union
+//! lands in exactly one mutex-guarded shard, so contention stays low and
+//! the produced-union counter counts every distinct union exactly once.
+//! The merged `next` level is sorted into canonical order, which makes a
+//! **non-truncated** parallel run bit-identical to the sequential one at
+//! any thread count; comparison counts are derived from group sizes up
+//! front and are likewise identical.
+//!
+//! Truncation is cooperative: a shared stop flag plus the exact global
+//! produced-union counter. The *decision* to truncate on the union budget
+//! is therefore thread-count-invariant (the distinct count reaches the cap
+//! in a parallel run iff it does sequentially); only *which* unions were
+//! completed when the stop fired differs, so truncated results may differ
+//! across thread counts (deadline truncation is time-dependent anyway),
+//! while the keep-everything-on-truncation covering guarantee always
+//! holds.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use spp_boolfn::BoolFn;
 use spp_gf2::EchelonBasis;
+use spp_par::{par_map, par_workers, Parallelism};
 
 use crate::{PartitionTrie, Pseudocube};
 
@@ -20,7 +47,7 @@ pub enum Grouping {
     HashMap,
     /// No grouping: all `|X|(|X|−1)/2` pairs are compared for structure
     /// equality, as in the earlier algorithm of Luccio–Pagli [5]. This is
-    /// the baseline of Table 2.
+    /// the baseline of Table 2, and always runs sequentially.
     Quadratic,
 }
 
@@ -37,6 +64,8 @@ pub struct LevelStats {
     pub comparisons: u64,
     /// Pseudocubes of this degree retained as EPPP candidates.
     pub retained: usize,
+    /// Wall-clock time spent on this level (union sweep + bookkeeping).
+    pub wall: Duration,
 }
 
 /// Aggregate statistics of a generation run.
@@ -48,6 +77,11 @@ pub struct GenStats {
     pub total_generated: usize,
     /// Total pairwise comparisons across all steps.
     pub comparisons: u64,
+    /// Unions built by each worker thread, summed over all levels. Length
+    /// is the resolved worker count; index 0 is the only entry of a
+    /// sequential run. The total equals the number of unions examined, so
+    /// the spread shows how well the sweep balanced.
+    pub thread_unions: Vec<u64>,
     /// Whether a resource limit stopped generation early (the EPPP set is
     /// then still a valid covering candidate set, but minimality claims
     /// become upper bounds).
@@ -59,19 +93,31 @@ impl std::fmt::Display for GenStats {
     /// comparison-count discussion (§3.3):
     ///
     /// ```text
-    /// deg     |X^k|  groups  comparisons  retained
-    ///   0       128       1         8128         0
-    ///   1      8128     253       143904         0
-    ///   ...
+    ///  deg     |X^k|   groups  comparisons  retained        ms
+    ///    0       128        1         8128         0       1.9
+    ///    1      8128      253       143904         0      88.2
+    ///    ...
     /// ```
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:>4} {:>9} {:>8} {:>12} {:>9}", "deg", "|X^k|", "groups", "comparisons", "retained")?;
+        writeln!(
+            f,
+            "{:>4} {:>9} {:>8} {:>12} {:>9} {:>9}",
+            "deg", "|X^k|", "groups", "comparisons", "retained", "ms"
+        )?;
         for l in &self.levels {
             writeln!(
                 f,
-                "{:>4} {:>9} {:>8} {:>12} {:>9}",
-                l.degree, l.size, l.groups, l.comparisons, l.retained
+                "{:>4} {:>9} {:>8} {:>12} {:>9} {:>9.1}",
+                l.degree,
+                l.size,
+                l.groups,
+                l.comparisons,
+                l.retained,
+                l.wall.as_secs_f64() * 1e3,
             )?;
+        }
+        if self.thread_unions.len() > 1 {
+            writeln!(f, "unions per thread {:?}", self.thread_unions)?;
         }
         write!(
             f,
@@ -92,13 +138,23 @@ pub struct GenLimits {
     pub max_level_size: usize,
     /// Wall-clock budget, if any.
     pub time_limit: Option<Duration>,
+    /// Worker threads for the union sweep. The default resolves to the
+    /// available cores (`SPP_THREADS` overrides);
+    /// [`Parallelism::sequential`] recovers the single-threaded code path
+    /// exactly.
+    pub parallelism: Parallelism,
 }
 
 impl Default for GenLimits {
     /// Generous defaults sized to the paper's largest reported EPPP sets
     /// (~500 000 pseudoproducts).
     fn default() -> Self {
-        GenLimits { max_pseudocubes: 600_000, max_level_size: 400_000, time_limit: None }
+        GenLimits {
+            max_pseudocubes: 600_000,
+            max_level_size: 400_000,
+            time_limit: None,
+            parallelism: Parallelism::AUTO,
+        }
     }
 }
 
@@ -151,7 +207,8 @@ pub fn generate_eppp(f: &BoolFn, grouping: Grouping, limits: &GenLimits) -> Eppp
 /// back into the family — but they are never retained as candidates, and
 /// the literal-based discard rule only lets a **conforming** union discard
 /// its halves (otherwise a conforming pseudocube could vanish in favour of
-/// a union the family cannot use).
+/// a union the family cannot use). The predicate must be `Sync`: workers
+/// call it concurrently when the sweep runs parallel.
 ///
 /// # Examples
 ///
@@ -173,10 +230,11 @@ pub fn generate_eppp_where(
     f: &BoolFn,
     grouping: Grouping,
     limits: &GenLimits,
-    conforming: &dyn Fn(&Pseudocube) -> bool,
+    conforming: &(dyn Fn(&Pseudocube) -> bool + Sync),
 ) -> EpppSet {
     let n = f.num_vars();
     let deadline = limits.time_limit.map(|d| Instant::now() + d);
+    let threads = limits.parallelism.threads();
     let mut level: Vec<Pseudocube> = f
         .on_set()
         .iter()
@@ -186,10 +244,15 @@ pub fn generate_eppp_where(
     level.sort_unstable();
 
     let mut retained: Vec<Pseudocube> = Vec::new();
-    let mut stats = GenStats { total_generated: level.len(), ..GenStats::default() };
+    let mut stats = GenStats {
+        total_generated: level.len(),
+        thread_unions: vec![0; threads],
+        ..GenStats::default()
+    };
     let mut degree = 0usize;
 
     while !level.is_empty() {
+        let level_start = Instant::now();
         let over_budget = stats.truncated
             || stats.total_generated > limits.max_pseudocubes
             || level.len() > limits.max_level_size
@@ -206,14 +269,11 @@ pub fn generate_eppp_where(
                 groups: 0,
                 comparisons: 0,
                 retained: level.len(),
+                wall: level_start.elapsed(),
             });
             retained.append(&mut level);
             break;
         }
-
-        let mut discarded = vec![false; level.len()];
-        let mut next: HashSet<Pseudocube> = HashSet::new();
-        let mut comparisons = 0u64;
 
         // The pair loops can produce far more unions than the level held,
         // so the budget is enforced inside them (sampling the clock
@@ -221,75 +281,16 @@ pub fn generate_eppp_where(
         let union_cap = limits
             .max_level_size
             .min(limits.max_pseudocubes.saturating_sub(stats.total_generated));
-        let mut ops = 0u64;
-        let over = |next_len: usize, ops: &mut u64| {
-            *ops += 1;
-            next_len > union_cap
-                || ((*ops).is_multiple_of(64) && deadline.is_some_and(|d| Instant::now() >= d))
-        };
-        let unite = |i: usize, j: usize, next: &mut HashSet<Pseudocube>, discarded: &mut [bool]| {
-            let u = level[i]
-                .union(&level[j])
-                .expect("same-structure distinct pseudocubes unite");
-            // Only a union the family can actually use may discard its
-            // halves; otherwise e.g. 2-SPP would lose conforming
-            // pseudocubes to wide ones.
-            if conforming(&u) {
-                let lit = u.literal_count();
-                if lit <= level[i].literal_count() {
-                    discarded[i] = true;
-                }
-                if lit <= level[j].literal_count() {
-                    discarded[j] = true;
-                }
-            }
-            next.insert(u);
-        };
-
-        let num_groups;
-        match grouping {
-            Grouping::Quadratic => {
-                // The [5] baseline: every pair of pseudocubes is compared
-                // for structure equality — |X|(|X|−1)/2 comparisons — and
-                // unifiable pairs are united.
-                num_groups = 0;
-                'pairs: for i in 0..level.len() {
-                    if over(next.len(), &mut ops) {
-                        stats.truncated = true;
-                        break 'pairs;
-                    }
-                    for j in (i + 1)..level.len() {
-                        comparisons += 1;
-                        if level[i].structure() == level[j].structure() {
-                            unite(i, j, &mut next, &mut discarded);
-                        }
-                    }
-                }
-            }
-            Grouping::PartitionTrie | Grouping::HashMap => {
-                let groups = group_indices(&level, grouping, &mut comparisons);
-                num_groups = groups.len();
-                'unions: for group in groups {
-                    for (a, &i) in group.iter().enumerate() {
-                        // A single structure group can hold thousands of
-                        // cosets (quadratically many unions).
-                        if over(next.len(), &mut ops) {
-                            stats.truncated = true;
-                            break 'unions;
-                        }
-                        for &j in &group[a + 1..] {
-                            unite(i as usize, j as usize, &mut next, &mut discarded);
-                        }
-                    }
-                }
-            }
+        let outcome = sweep_level(&level, grouping, threads, union_cap, deadline, conforming);
+        let mut discarded = outcome.discarded;
+        if outcome.truncated {
+            stats.truncated = true;
         }
         // On truncation the discard flags may be based on a partial union
         // sweep; that is fine (discarded items still have a retained
-        // substitute), but items never compared must be kept, which the
-        // flags already guarantee.
+        // substitute), but items never compared must be kept — simplest is
+        // to keep everything at this level plus what was generated so far.
         if stats.truncated {
-            // Keep everything at this level plus what was generated so far.
             discarded.iter_mut().for_each(|d| *d = false);
         }
 
@@ -300,17 +301,20 @@ pub fn generate_eppp_where(
                 kept += 1;
             }
         }
+        stats.comparisons += outcome.comparisons;
+        for (w, unions) in outcome.thread_unions.iter().enumerate() {
+            stats.thread_unions[w] += unions;
+        }
         stats.levels.push(LevelStats {
             degree,
             size: level.len(),
-            groups: num_groups,
-            comparisons,
+            groups: outcome.groups,
+            comparisons: outcome.comparisons,
             retained: kept,
+            wall: level_start.elapsed(),
         });
-        stats.comparisons += comparisons;
 
-        level = next.into_iter().collect();
-        level.sort_unstable();
+        level = outcome.next;
         stats.total_generated += level.len();
         degree += 1;
     }
@@ -318,11 +322,289 @@ pub fn generate_eppp_where(
     EpppSet { num_vars: n, pseudocubes: retained, stats }
 }
 
+/// The result of one level's union sweep (see [`sweep_level`]).
+pub(crate) struct SweepOutcome {
+    /// The distinct unions built, in canonical (sorted) order.
+    pub(crate) next: Vec<Pseudocube>,
+    /// Per-index discard flags for the swept level.
+    pub(crate) discarded: Vec<bool>,
+    /// Structure comparisons performed / accounted.
+    pub(crate) comparisons: u64,
+    /// Structure groups found (0 for the quadratic baseline).
+    pub(crate) groups: usize,
+    /// Whether the sweep hit the union budget or the deadline.
+    pub(crate) truncated: bool,
+    /// Unions examined per worker (length = workers used).
+    pub(crate) thread_unions: Vec<u64>,
+}
+
+/// Unites all same-structure pairs of `level`, producing the deduplicated
+/// next level, discard flags, and counters. `union_cap` bounds the number
+/// of distinct unions produced (exactly, at any thread count — see the
+/// module docs); `deadline` is sampled sparsely. Shared by the exact
+/// generator and the heuristic's ascendant phase.
+pub(crate) fn sweep_level(
+    level: &[Pseudocube],
+    grouping: Grouping,
+    threads: usize,
+    union_cap: usize,
+    deadline: Option<Instant>,
+    conforming: &(dyn Fn(&Pseudocube) -> bool + Sync),
+) -> SweepOutcome {
+    if threads <= 1 || matches!(grouping, Grouping::Quadratic) {
+        return sweep_level_sequential(level, grouping, union_cap, deadline, conforming);
+    }
+
+    let mut comparisons = 0u64;
+    let groups = group_indices(level, grouping, &mut comparisons);
+    let num_groups = groups.len();
+
+    // Slice each group's outer-index range into units of roughly equal pair
+    // count, then hand units to workers greedily (heaviest first, least
+    // loaded worker first — deterministic for a given level and thread
+    // count).
+    let units = plan_units(&groups, threads * 4);
+    let workers = threads.min(units.len()).max(1);
+    if units.is_empty() {
+        return SweepOutcome {
+            next: Vec::new(),
+            discarded: vec![false; level.len()],
+            comparisons,
+            groups: num_groups,
+            truncated: false,
+            thread_unions: vec![0; workers],
+        };
+    }
+    let assignment = assign_units(units, workers);
+
+    struct WorkerOut {
+        discards: Vec<u32>,
+        unions: u64,
+        truncated: bool,
+    }
+
+    // Global dedup, sharded by the structure's cached hash: each distinct
+    // union belongs to exactly one shard, so `produced` counts distinct
+    // unions exactly (the truncation decision matches the sequential run)
+    // and no union is stored twice.
+    let shards: Vec<std::sync::Mutex<HashSet<Pseudocube>>> =
+        (0..workers).map(|_| std::sync::Mutex::new(HashSet::new())).collect();
+    let stop = AtomicBool::new(false);
+    let produced = AtomicUsize::new(0);
+    let outs: Vec<WorkerOut> = par_workers(workers, |w| {
+        let mut discards: Vec<u32> = Vec::new();
+        let mut unions = 0u64;
+        let mut ops = 0u64;
+        let mut truncated = false;
+        'units: for unit in &assignment[w] {
+            let group = &groups[unit.group as usize];
+            for a in unit.lo..unit.hi {
+                ops += 1;
+                if stop.load(Ordering::Relaxed)
+                    || produced.load(Ordering::Relaxed) > union_cap
+                    || (ops.is_multiple_of(64) && deadline.is_some_and(|d| Instant::now() >= d))
+                {
+                    stop.store(true, Ordering::Relaxed);
+                    truncated = true;
+                    break 'units;
+                }
+                let i = group[a as usize] as usize;
+                for &j in &group[a as usize + 1..] {
+                    let j = j as usize;
+                    let u = level[i]
+                        .union(&level[j])
+                        .expect("same-structure distinct pseudocubes unite");
+                    if conforming(&u) {
+                        let lit = u.literal_count();
+                        if lit <= level[i].literal_count() {
+                            discards.push(i as u32);
+                        }
+                        if lit <= level[j].literal_count() {
+                            discards.push(j as u32);
+                        }
+                    }
+                    unions += 1;
+                    let shard = (u.structure().structure_hash() % workers as u64) as usize;
+                    if shards[shard].lock().expect("shard poisoned").insert(u) {
+                        produced.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        WorkerOut { discards, unions, truncated }
+    });
+
+    let truncated = outs.iter().any(|o| o.truncated);
+    let mut discarded = vec![false; level.len()];
+    let mut thread_unions = vec![0u64; workers];
+    for (w, out) in outs.into_iter().enumerate() {
+        thread_unions[w] = out.unions;
+        for &i in &out.discards {
+            discarded[i as usize] = true;
+        }
+    }
+    let merged: Vec<Vec<Pseudocube>> = par_map(workers, shards, |shard| {
+        shard.into_inner().expect("shard poisoned").into_iter().collect()
+    });
+    let mut next: Vec<Pseudocube> = merged.into_iter().flatten().collect();
+    next.sort_unstable();
+
+    SweepOutcome { next, discarded, comparisons, groups: num_groups, truncated, thread_unions }
+}
+
+/// The single-threaded sweep — the pre-parallel code path, byte for byte
+/// the behaviour `Parallelism::sequential()` promises.
+fn sweep_level_sequential(
+    level: &[Pseudocube],
+    grouping: Grouping,
+    union_cap: usize,
+    deadline: Option<Instant>,
+    conforming: &(dyn Fn(&Pseudocube) -> bool + Sync),
+) -> SweepOutcome {
+    let mut discarded = vec![false; level.len()];
+    let mut next: HashSet<Pseudocube> = HashSet::new();
+    let mut comparisons = 0u64;
+    let mut unions = 0u64;
+    let mut truncated = false;
+
+    let mut ops = 0u64;
+    let over = |next_len: usize, ops: &mut u64| {
+        *ops += 1;
+        next_len > union_cap
+            || ((*ops).is_multiple_of(64) && deadline.is_some_and(|d| Instant::now() >= d))
+    };
+    let mut unite = |i: usize, j: usize, next: &mut HashSet<Pseudocube>, discarded: &mut [bool]| {
+        let u = level[i].union(&level[j]).expect("same-structure distinct pseudocubes unite");
+        // Only a union the family can actually use may discard its halves;
+        // otherwise e.g. 2-SPP would lose conforming pseudocubes to wide
+        // ones.
+        if conforming(&u) {
+            let lit = u.literal_count();
+            if lit <= level[i].literal_count() {
+                discarded[i] = true;
+            }
+            if lit <= level[j].literal_count() {
+                discarded[j] = true;
+            }
+        }
+        unions += 1;
+        next.insert(u);
+    };
+
+    let num_groups;
+    match grouping {
+        Grouping::Quadratic => {
+            // The [5] baseline: every pair of pseudocubes is compared for
+            // structure equality — |X|(|X|−1)/2 comparisons — and unifiable
+            // pairs are united.
+            num_groups = 0;
+            'pairs: for i in 0..level.len() {
+                if over(next.len(), &mut ops) {
+                    truncated = true;
+                    break 'pairs;
+                }
+                for j in (i + 1)..level.len() {
+                    comparisons += 1;
+                    if level[i].structure() == level[j].structure() {
+                        unite(i, j, &mut next, &mut discarded);
+                    }
+                }
+            }
+        }
+        Grouping::PartitionTrie | Grouping::HashMap => {
+            let groups = group_indices(level, grouping, &mut comparisons);
+            num_groups = groups.len();
+            'unions: for group in groups {
+                for (a, &i) in group.iter().enumerate() {
+                    // A single structure group can hold thousands of cosets
+                    // (quadratically many unions).
+                    if over(next.len(), &mut ops) {
+                        truncated = true;
+                        break 'unions;
+                    }
+                    for &j in &group[a + 1..] {
+                        unite(i as usize, j as usize, &mut next, &mut discarded);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut next: Vec<Pseudocube> = next.into_iter().collect();
+    next.sort_unstable();
+    SweepOutcome {
+        next,
+        discarded,
+        comparisons,
+        groups: num_groups,
+        truncated,
+        thread_unions: vec![unions],
+    }
+}
+
+/// A contiguous outer-index slice of one structure group: the sweep work
+/// unit. Unit `(g, lo..hi)` unites `group[a]` with every later member, for
+/// each `a` in `lo..hi`.
+struct Unit {
+    group: u32,
+    lo: u32,
+    hi: u32,
+    weight: u64,
+}
+
+/// Slices groups into units of roughly `total_pairs / target_units` pairs
+/// each, in deterministic (group, offset) order.
+fn plan_units(groups: &[Vec<u32>], target_units: usize) -> Vec<Unit> {
+    let total: u64 = groups.iter().map(|g| pairs(g.len())).sum();
+    let target = (total / target_units.max(1) as u64).max(1);
+    let mut units = Vec::new();
+    for (gi, group) in groups.iter().enumerate() {
+        let len = group.len() as u64;
+        if len < 2 {
+            continue;
+        }
+        let mut lo = 0u64;
+        let mut acc = 0u64;
+        // Outer index `a` contributes `len - 1 - a` pairs.
+        for a in 0..len - 1 {
+            acc += len - 1 - a;
+            if acc >= target {
+                units.push(Unit { group: gi as u32, lo: lo as u32, hi: (a + 1) as u32, weight: acc });
+                lo = a + 1;
+                acc = 0;
+            }
+        }
+        if lo < len - 1 {
+            units.push(Unit { group: gi as u32, lo: lo as u32, hi: (len - 1) as u32, weight: acc });
+        }
+    }
+    units
+}
+
+/// Greedy static load balance: heaviest unit to the least-loaded worker.
+/// Ties break on (group, lo) and worker index, so the assignment — and
+/// with it the per-thread union counters — is deterministic.
+fn assign_units(mut units: Vec<Unit>, workers: usize) -> Vec<Vec<Unit>> {
+    units.sort_by(|a, b| {
+        b.weight.cmp(&a.weight).then(a.group.cmp(&b.group)).then(a.lo.cmp(&b.lo))
+    });
+    let mut load = vec![0u64; workers];
+    let mut assignment: Vec<Vec<Unit>> = (0..workers).map(|_| Vec::new()).collect();
+    for unit in units {
+        let w = (0..workers).min_by_key(|&w| (load[w], w)).expect("at least one worker");
+        load[w] += unit.weight.max(1);
+        assignment[w].push(unit);
+    }
+    assignment
+}
+
 /// Groups level indices by structure according to the chosen strategy,
 /// also accounting the number of *comparisons* the strategy performs:
 /// the quadratic baseline pays one structure comparison per pair of
 /// pseudocubes, while the trie/hash strategies only ever touch unifiable
-/// pairs (the paper's "minimum number of comparisons").
+/// pairs (the paper's "minimum number of comparisons"). Counting from
+/// group sizes up front keeps the comparison totals independent of the
+/// thread count, truncated or not.
 fn group_indices(level: &[Pseudocube], grouping: Grouping, comparisons: &mut u64) -> Vec<Vec<u32>> {
     match grouping {
         Grouping::PartitionTrie => {
@@ -371,6 +653,12 @@ mod tests {
         generate_eppp(f, g, &GenLimits::default())
     }
 
+    fn eppp_threads(f: &BoolFn, g: Grouping, threads: usize) -> EpppSet {
+        let limits =
+            GenLimits { parallelism: Parallelism::fixed(threads), ..GenLimits::default() };
+        generate_eppp(f, g, &limits)
+    }
+
     #[test]
     fn paper_intro_example_finds_the_exor_form() {
         // x1x2x̄4 + x̄1x2x4 (renamed): the ascent finds x2·(x1⊕x4).
@@ -395,6 +683,21 @@ mod tests {
         let quad: HashSet<_> = eppp_of(&f, Grouping::Quadratic).pseudocubes.into_iter().collect();
         assert_eq!(trie, hash);
         assert_eq!(trie, quad);
+    }
+
+    #[test]
+    fn all_groupings_agree_at_any_thread_count() {
+        let f = BoolFn::from_indices(4, &[0, 3, 5, 6, 9, 10, 12, 15]);
+        let sequential = eppp_threads(&f, Grouping::PartitionTrie, 1);
+        for threads in [2usize, 3, 8] {
+            for grouping in [Grouping::PartitionTrie, Grouping::HashMap] {
+                let par = eppp_threads(&f, grouping, threads);
+                // Bit-identical: same pseudocubes in the same order.
+                assert_eq!(par.pseudocubes, sequential.pseudocubes);
+                assert_eq!(par.stats.comparisons, sequential.stats.comparisons);
+                assert_eq!(par.stats.total_generated, sequential.stats.total_generated);
+            }
+        }
     }
 
     #[test]
@@ -449,6 +752,39 @@ mod tests {
     }
 
     #[test]
+    fn truncation_keeps_a_valid_candidate_set_under_parallelism() {
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 != 0);
+        // 30 > the 21 degree-0 points, so the budget bites *inside* the
+        // parallel union sweep rather than before it.
+        for threads in [2usize, 4, 8] {
+            let limits = GenLimits {
+                max_pseudocubes: 30,
+                parallelism: Parallelism::fixed(threads),
+                ..GenLimits::default()
+            };
+            let eppp = generate_eppp(&f, Grouping::PartitionTrie, &limits);
+            assert!(eppp.stats.truncated, "threads = {threads}");
+            for pt in f.on_set() {
+                assert!(
+                    eppp.pseudocubes.iter().any(|p| p.contains(pt)),
+                    "point {pt} uncovered at {threads} threads"
+                );
+            }
+        }
+        // A zero deadline truncates before any sweep; coverage still holds.
+        let limits = GenLimits {
+            time_limit: Some(Duration::ZERO),
+            parallelism: Parallelism::fixed(4),
+            ..GenLimits::default()
+        };
+        let eppp = generate_eppp(&f, Grouping::PartitionTrie, &limits);
+        assert!(eppp.stats.truncated);
+        for pt in f.on_set() {
+            assert!(eppp.pseudocubes.iter().any(|p| p.contains(pt)));
+        }
+    }
+
+    #[test]
     fn stats_level_zero_counts_points() {
         let f = BoolFn::from_indices(3, &[1, 2, 4, 7]);
         let eppp = eppp_of(&f, Grouping::PartitionTrie);
@@ -457,6 +793,31 @@ mod tests {
         // Degree-0: all points share the empty structure → one group.
         assert_eq!(eppp.stats.levels[0].groups, 1);
         assert_eq!(eppp.stats.levels[0].comparisons, 6);
+    }
+
+    #[test]
+    fn thread_union_counters_total_the_sweep_work() {
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 != 0);
+        let sequential = eppp_threads(&f, Grouping::PartitionTrie, 1);
+        assert_eq!(sequential.stats.thread_unions.len(), 1);
+        let par = eppp_threads(&f, Grouping::PartitionTrie, 4);
+        assert_eq!(par.stats.thread_unions.len(), 4);
+        // Every union is examined exactly once, whoever does it.
+        assert_eq!(
+            par.stats.thread_unions.iter().sum::<u64>(),
+            sequential.stats.thread_unions[0],
+        );
+        // The sweep actually fanned out.
+        assert!(par.stats.thread_unions.iter().filter(|&&u| u > 0).count() > 1);
+    }
+
+    #[test]
+    fn level_walls_are_recorded() {
+        let f = BoolFn::from_indices(3, &[1, 2, 4, 7]);
+        let eppp = eppp_of(&f, Grouping::PartitionTrie);
+        assert!(!eppp.stats.levels.is_empty());
+        // Wall times are bounded (possibly sub-microsecond) for every level.
+        assert!(eppp.stats.levels.iter().all(|l| l.wall < std::time::Duration::from_secs(60)));
     }
 
     #[test]
@@ -488,5 +849,39 @@ mod tests {
         let eppp = eppp_of(&f, Grouping::PartitionTrie);
         let best = eppp.pseudocubes.iter().map(Pseudocube::literal_count).min().unwrap();
         assert_eq!(best, 2);
+    }
+
+    #[test]
+    fn unit_planning_covers_every_pair_exactly_once() {
+        // One big group of 9 and one pair group.
+        let groups = vec![(0u32..9).collect::<Vec<u32>>(), vec![9, 10]];
+        let units = plan_units(&groups, 5);
+        let mut covered = std::collections::HashSet::new();
+        for unit in &units {
+            let group = &groups[unit.group as usize];
+            for a in unit.lo..unit.hi {
+                for &j in &group[a as usize + 1..] {
+                    assert!(covered.insert((group[a as usize], j)), "pair duplicated");
+                }
+            }
+        }
+        let expected: u64 = groups.iter().map(|g| pairs(g.len())).sum();
+        assert_eq!(covered.len() as u64, expected);
+    }
+
+    #[test]
+    fn unit_assignment_is_deterministic_and_complete() {
+        let groups = vec![(0u32..20).collect::<Vec<u32>>()];
+        let units = || plan_units(&groups, 8);
+        let a = assign_units(units(), 3);
+        let b = assign_units(units(), 3);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.len(), wb.len());
+            for (ua, ub) in wa.iter().zip(wb) {
+                assert_eq!((ua.group, ua.lo, ua.hi), (ub.group, ub.lo, ub.hi));
+            }
+        }
+        let total: usize = a.iter().map(Vec::len).sum();
+        assert_eq!(total, units().len());
     }
 }

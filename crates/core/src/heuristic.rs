@@ -4,9 +4,10 @@ use std::collections::HashSet;
 
 use spp_boolfn::BoolFn;
 
+use crate::generate::{sweep_level, SweepOutcome};
 use crate::minimize::cover_with_candidates;
 use crate::{
-    sub_pseudocubes, GenStats, LevelStats, PartitionTrie, Pseudocube, SppMinResult, SppOptions,
+    sub_pseudocubes, GenStats, Grouping, LevelStats, Pseudocube, SppMinResult, SppOptions,
 };
 
 /// Minimizes `f` with the paper's **Algorithm 3**, producing the `SPP_k`
@@ -132,58 +133,54 @@ pub fn minimize_spp_heuristic_from_cover(
         }
     }
 
-    // Phase 3: ascendant — Algorithm 2 step 2 from degree 0 upward.
+    // Phase 3: ascendant — Algorithm 2 step 2 from degree 0 upward,
+    // through the same (optionally parallel) union sweep as the exact
+    // generator.
+    let threads = options.gen_limits.parallelism.threads();
     let mut retained: Vec<Pseudocube> = Vec::new();
-    let mut stats = GenStats::default();
+    let mut stats = GenStats { thread_unions: vec![0; threads], ..GenStats::default() };
     for d in 0..n {
         let level = sorted(&levels[d]);
         if level.is_empty() {
             continue;
         }
-        let mut discarded = vec![false; level.len()];
-        let mut comparisons = 0u64;
-        let mut trie = PartitionTrie::new(n);
-        for (i, pc) in level.iter().enumerate() {
-            trie.insert(pc, i as u32);
-        }
-        let groups: Vec<Vec<u32>> =
-            trie.groups().map(|g| g.iter().map(|l| l.payload).collect()).collect();
-        let num_groups = groups.len();
-        for group in groups {
-            // The union sweep can dwarf the level size; enforce the budget
-            // between groups so a single level cannot blow past it.
-            if generated > options.gen_limits.max_pseudocubes || past_deadline() {
-                truncated = true;
-                break;
+        let level_start = std::time::Instant::now();
+        let outcome = if generated > options.gen_limits.max_pseudocubes || past_deadline() {
+            // Budget exhausted before this level: keep it untouched.
+            truncated = true;
+            SweepOutcome {
+                next: Vec::new(),
+                discarded: vec![false; level.len()],
+                comparisons: 0,
+                groups: 0,
+                truncated: true,
+                thread_unions: vec![0],
             }
-            comparisons += (group.len() as u64) * (group.len() as u64 - 1) / 2;
-            for (a, &i) in group.iter().enumerate() {
-                if a % 64 == 0 && (generated > options.gen_limits.max_pseudocubes || past_deadline()) {
-                    truncated = true;
-                    break;
-                }
-                for &j in &group[a + 1..] {
-                    let u = level[i as usize]
-                        .union(&level[j as usize])
-                        .expect("grouped pseudocubes unite");
-                    let lit = u.literal_count();
-                    if lit <= level[i as usize].literal_count() {
-                        discarded[i as usize] = true;
-                    }
-                    if lit <= level[j as usize].literal_count() {
-                        discarded[j as usize] = true;
-                    }
-                    if levels[d + 1].insert(u) {
-                        generated += 1;
-                    }
-                }
+        } else {
+            // The union sweep can dwarf the level size; cap the distinct
+            // unions it may produce by the remaining generation budget.
+            sweep_level(
+                &level,
+                Grouping::PartitionTrie,
+                threads,
+                options.gen_limits.max_pseudocubes.saturating_sub(generated),
+                deadline,
+                &|_| true,
+            )
+        };
+        if outcome.truncated {
+            truncated = true;
+        }
+        for u in outcome.next {
+            if levels[d + 1].insert(u) {
+                generated += 1;
             }
         }
         if generated > options.gen_limits.max_pseudocubes {
             truncated = true;
         }
         let mut kept = 0usize;
-        for (pc, dropped) in level.iter().zip(&discarded) {
+        for (pc, dropped) in level.iter().zip(&outcome.discarded) {
             if !dropped {
                 retained.push(pc.clone());
                 kept += 1;
@@ -192,11 +189,15 @@ pub fn minimize_spp_heuristic_from_cover(
         stats.levels.push(LevelStats {
             degree: d,
             size: level.len(),
-            groups: num_groups,
-            comparisons,
+            groups: outcome.groups,
+            comparisons: outcome.comparisons,
             retained: kept,
+            wall: level_start.elapsed(),
         });
-        stats.comparisons += comparisons;
+        stats.comparisons += outcome.comparisons;
+        for (w, unions) in outcome.thread_unions.iter().enumerate() {
+            stats.thread_unions[w] += unions;
+        }
         if truncated {
             break;
         }
@@ -211,7 +212,8 @@ pub fn minimize_spp_heuristic_from_cover(
     // Phase 4: minimum-literal covering.
     let gen_elapsed = phase_start.elapsed();
     let cover_start = std::time::Instant::now();
-    let (form, cover_optimal) = cover_with_candidates(f, &retained, &options.cover_limits);
+    let (form, cover_optimal) =
+        cover_with_candidates(f, &retained, &options.cover_limits, options.gen_limits.parallelism);
     SppMinResult {
         form,
         num_candidates: retained.len(),

@@ -65,6 +65,7 @@ pub use heuristic::{minimize_spp_heuristic, minimize_spp_heuristic_from_cover};
 pub use minimize::{minimize_spp_exact, SppMinResult, SppOptions};
 pub use multi::{minimize_spp_multi, MultiSppResult};
 pub use pseudocube::Pseudocube;
+pub use spp_par::Parallelism;
 pub use restricted::{
     factor_width_at_most, minimize_2spp, minimize_spp_restricted, restricted_default_grouping,
     restricted_default_limits,
@@ -72,4 +73,4 @@ pub use restricted::{
 pub use structure::Structure;
 pub use subpseudo::sub_pseudocubes;
 pub use trie::{Leaf, NodeKind, PartitionTrie};
-pub use verify::{verify_cover, VerifyError};
+pub use verify::{verify_cover, verify_cover_par, VerifyError};

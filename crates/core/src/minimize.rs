@@ -83,7 +83,12 @@ pub fn minimize_spp_exact(f: &BoolFn, options: &SppOptions) -> SppMinResult {
     }
     let gen_elapsed = gen_start.elapsed();
     let cover_start = std::time::Instant::now();
-    let (mut form, cover_optimal) = cover_with_candidates(f, &candidates, &options.cover_limits);
+    let (mut form, cover_optimal) = cover_with_candidates(
+        f,
+        &candidates,
+        &options.cover_limits,
+        options.gen_limits.parallelism,
+    );
     if eppp.stats.truncated {
         // Junk-heavy truncated pools can mislead the greedy cover; the SP
         // minimum is always a valid SPP form, so never return worse.
@@ -112,15 +117,16 @@ pub(crate) fn cover_with_candidates(
     f: &BoolFn,
     candidates: &[Pseudocube],
     limits: &spp_cover::Limits,
+    parallelism: spp_par::Parallelism,
 ) -> (SppForm, bool) {
     let on = f.on_set();
     let mut problem = CoverProblem::new(on.len());
-    for pc in candidates {
-        let rows = rows_covered(on, pc);
-        // The full-space pseudocube (tautology) has 0 literals; clamp so
-        // covering costs stay positive.
-        problem.add_column(&rows, pc.literal_count().max(1));
-    }
+    // The full-space pseudocube (tautology) has 0 literals; clamp so
+    // covering costs stay positive.
+    problem.add_columns_par(parallelism, candidates.len(), |c| {
+        let pc = &candidates[c];
+        (rows_covered(on, pc), pc.literal_count().max(1))
+    });
     let solution = solve_auto(&problem, limits);
     let terms: Vec<Pseudocube> =
         solution.columns.iter().map(|&c| candidates[c].clone()).collect();

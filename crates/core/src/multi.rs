@@ -8,8 +8,9 @@
 
 use spp_boolfn::BoolFn;
 use spp_cover::{solve_auto, CoverProblem};
+use spp_par::{par_map_indices, Parallelism};
 
-use crate::{generate_eppp, Pseudocube, SppForm, SppOptions};
+use crate::{generate_eppp, EpppSet, GenLimits, Pseudocube, SppForm, SppOptions};
 
 /// The outcome of [`minimize_spp_multi`].
 #[derive(Clone, Debug)]
@@ -69,12 +70,23 @@ pub fn minimize_spp_multi(outputs: &[BoolFn], options: &SppOptions) -> MultiSppR
         "all outputs must share the input variables"
     );
 
-    // Candidate pool: the union of the per-output EPPP sets.
+    // Candidate pool: the union of the per-output EPPP sets. Outputs are
+    // independent, so generation fans out across them; leftover workers go
+    // to each output's own union sweep. The pool is merged in output order,
+    // so the candidate list is identical at any thread count.
+    let threads = options.gen_limits.parallelism.threads();
+    let outer = threads.min(outputs.len()).max(1);
+    let inner_limits = GenLimits {
+        parallelism: Parallelism::fixed((threads / outer).max(1)),
+        ..options.gen_limits.clone()
+    };
+    let per_output: Vec<EpppSet> = par_map_indices(outer, outputs.len(), |j| {
+        generate_eppp(&outputs[j], options.grouping, &inner_limits)
+    });
     let mut truncated = false;
     let mut pool: Vec<Pseudocube> = Vec::new();
     let mut seen: std::collections::HashSet<Pseudocube> = std::collections::HashSet::new();
-    for f in outputs {
-        let eppp = generate_eppp(f, options.grouping, &options.gen_limits);
+    for eppp in per_output {
         truncated |= eppp.stats.truncated;
         for pc in eppp.pseudocubes {
             if seen.insert(pc.clone()) {
@@ -92,10 +104,12 @@ pub fn minimize_spp_multi(outputs: &[BoolFn], options: &SppOptions) -> MultiSppR
     }
 
     // Columns: each candidate covers the pairs of every output it is an
-    // implicant of; literals are paid once per candidate.
+    // implicant of; literals are paid once per candidate. Candidates are
+    // independent, so implicant checks and row enumeration fan out; the
+    // columns are appended in pool order afterwards.
     let mut problem = CoverProblem::new(total_rows);
-    let mut valid_outputs: Vec<Vec<usize>> = Vec::with_capacity(pool.len());
-    for pc in &pool {
+    let built: Vec<(Vec<usize>, Vec<usize>)> = par_map_indices(threads, pool.len(), |c| {
+        let pc = &pool[c];
         let mut rows = Vec::new();
         let mut valid = Vec::new();
         for (j, f) in outputs.iter().enumerate() {
@@ -109,6 +123,10 @@ pub fn minimize_spp_multi(outputs: &[BoolFn], options: &SppOptions) -> MultiSppR
                 }
             }
         }
+        (rows, valid)
+    });
+    let mut valid_outputs: Vec<Vec<usize>> = Vec::with_capacity(pool.len());
+    for (pc, (rows, valid)) in pool.iter().zip(built) {
         valid_outputs.push(valid);
         problem.add_column(&rows, pc.literal_count().max(1));
     }
@@ -230,6 +248,27 @@ mod tests {
         multi.forms[0].check_realizes(&f0).unwrap();
         multi.forms[1].check_realizes(&f1).unwrap();
         assert_eq!(multi.forms[0].num_pseudoproducts(), 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let f0 = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+        let f1 = BoolFn::from_truth_fn(4, |x| x % 5 == 1 || x.count_ones() % 2 == 0);
+        let outputs = [f0, f1];
+        let run = |threads: usize| {
+            let mut options = SppOptions::default();
+            options.gen_limits.parallelism = Parallelism::fixed(threads);
+            minimize_spp_multi(&outputs, &options)
+        };
+        let baseline = run(1);
+        for threads in [2usize, 8] {
+            let parallel = run(threads);
+            assert_eq!(parallel.shared_terms, baseline.shared_terms, "threads={threads}");
+            assert_eq!(parallel.shared_literal_count, baseline.shared_literal_count);
+            for (a, b) in parallel.forms.iter().zip(&baseline.forms) {
+                assert_eq!(a, b, "threads={threads}");
+            }
+        }
     }
 
     #[test]

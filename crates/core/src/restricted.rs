@@ -117,7 +117,8 @@ pub fn minimize_spp_restricted(
     }
     let gen_elapsed = gen_start.elapsed();
     let cover_start = std::time::Instant::now();
-    let (mut form, cover_optimal) = cover_with_candidates(f, &candidates, &options.cover_limits);
+    let (mut form, cover_optimal) =
+        cover_with_candidates(f, &candidates, &options.cover_limits, options.gen_limits.parallelism);
     if eppp.stats.truncated {
         // As in the unrestricted minimizer: never return worse than SP.
         let sp = spp_sp::minimize_sp(f, &options.cover_limits);
@@ -242,7 +243,12 @@ mod tests {
         // produce an uncoverable instance.
         let f = BoolFn::from_truth_fn(5, |x| x % 3 == 1);
         let options = SppOptions {
-            gen_limits: GenLimits { max_pseudocubes: 20, max_level_size: 10, time_limit: None },
+            gen_limits: GenLimits {
+                max_pseudocubes: 20,
+                max_level_size: 10,
+                time_limit: None,
+                ..GenLimits::default()
+            },
             ..SppOptions::default()
         };
         let r = minimize_spp_restricted(&f, 2, &options);

@@ -72,22 +72,48 @@ impl Error for VerifyError {}
 /// assert!(verify_cover(&f, &[term]).is_ok());
 /// ```
 pub fn verify_cover(f: &BoolFn, terms: &[Pseudocube]) -> Result<(), VerifyError> {
-    for (i, term) in terms.iter().enumerate() {
+    verify_cover_par(f, terms, spp_par::Parallelism::sequential())
+}
+
+/// [`verify_cover`] fanned out across worker threads: per-term implicant
+/// checks and the ON-set coverage scan are independent, so both
+/// parallelize. The result is **identical** to the sequential check at any
+/// thread count — each worker reports its earliest violation and the
+/// earliest overall wins, which is exactly the violation the sequential
+/// scan finds first.
+///
+/// # Errors
+///
+/// Returns the first violation found, if any.
+pub fn verify_cover_par(
+    f: &BoolFn,
+    terms: &[Pseudocube],
+    parallelism: spp_par::Parallelism,
+) -> Result<(), VerifyError> {
+    let threads = parallelism.threads();
+    let term_errors = spp_par::par_map_indices(threads, terms.len(), |i| {
+        let term = &terms[i];
         if term.num_vars() != f.num_vars() {
-            return Err(VerifyError::WidthMismatch { term_index: i });
+            return Some(VerifyError::WidthMismatch { term_index: i });
         }
-        for point in term.points() {
-            if !f.is_coverable(&point) {
-                return Err(VerifyError::NotAnImplicant { term_index: i, point });
-            }
-        }
+        term.points()
+            .find(|p| !f.is_coverable(p))
+            .map(|point| VerifyError::NotAnImplicant { term_index: i, point })
+    });
+    if let Some(err) = term_errors.into_iter().flatten().next() {
+        return Err(err);
     }
-    for point in f.on_set() {
-        if !terms.iter().any(|t| t.contains(point)) {
-            return Err(VerifyError::Uncovered { point: *point });
-        }
+    let on = f.on_set();
+    let first_uncovered = spp_par::par_ranges(threads, on.len(), |range| {
+        range.into_iter().find(|&m| !terms.iter().any(|t| t.contains(&on[m])))
+    })
+    .into_iter()
+    .flatten()
+    .next();
+    match first_uncovered {
+        Some(m) => Err(VerifyError::Uncovered { point: on[m] }),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -139,6 +165,32 @@ mod tests {
             verify_cover(&f, &[term]),
             Err(VerifyError::WidthMismatch { term_index: 0 })
         );
+    }
+
+    #[test]
+    fn parallel_verification_matches_sequential() {
+        let good = BoolFn::from_indices(3, &[0b011, 0b110]);
+        let good_term = Pseudocube::from_points(&[v("110"), v("011")]).unwrap();
+        let bad = BoolFn::from_indices(2, &[0b01]);
+        let bad_terms =
+            vec![Pseudocube::from_point(v("01")), Pseudocube::from_cube(&"1-".parse().unwrap())];
+        let undercovered = BoolFn::from_indices(2, &[0b01, 0b10]);
+        for threads in [1usize, 2, 8] {
+            let p = spp_par::Parallelism::fixed(threads);
+            assert_eq!(
+                verify_cover_par(&good, std::slice::from_ref(&good_term), p),
+                verify_cover(&good, std::slice::from_ref(&good_term)),
+            );
+            assert_eq!(
+                verify_cover_par(&bad, &bad_terms, p),
+                verify_cover(&bad, &bad_terms),
+                "threads={threads}"
+            );
+            assert_eq!(
+                verify_cover_par(&undercovered, &[], p),
+                verify_cover(&undercovered, &[]),
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! The parallel execution layer's core guarantee, checked end to end:
+//! for a fixed function the retained EPPP set — and the comparison count
+//! the sweep reports — are **bit-identical at every thread count**, so
+//! parallelism is purely a wall-clock optimization.
+
+use proptest::prelude::*;
+use spp_boolfn::BoolFn;
+use spp_core::{generate_eppp, GenLimits, Grouping, Parallelism, Pseudocube};
+
+/// Non-truncating generation at a pinned worker count.
+fn eppp_at(f: &BoolFn, grouping: Grouping, threads: usize) -> (Vec<Pseudocube>, u64) {
+    let limits = GenLimits { parallelism: Parallelism::fixed(threads), ..GenLimits::default() };
+    let set = generate_eppp(f, grouping, &limits);
+    assert!(!set.stats.truncated, "determinism is only promised without truncation");
+    (set.pseudocubes, set.stats.comparisons)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn random_functions_generate_identically_at_any_thread_count(
+        bits in any::<u32>(),
+        n in 3usize..=5,
+    ) {
+        let f = BoolFn::from_truth_fn(n, |x| bits >> (x % 32) & 1 == 1);
+        prop_assume!(!f.is_zero());
+        for grouping in [Grouping::PartitionTrie, Grouping::HashMap] {
+            let baseline = eppp_at(&f, grouping, 1);
+            for threads in [2usize, 8] {
+                let parallel = eppp_at(&f, grouping, threads);
+                prop_assert_eq!(
+                    &baseline.0,
+                    &parallel.0,
+                    "EPPP set diverged: {:?} x{}",
+                    grouping,
+                    threads
+                );
+                prop_assert_eq!(
+                    baseline.1,
+                    parallel.1,
+                    "comparison count diverged: {:?} x{}",
+                    grouping,
+                    threads
+                );
+            }
+        }
+    }
+}

@@ -53,6 +53,35 @@ impl CoverProblem {
         self.columns.len() - 1
     }
 
+    /// Builds and appends `count` columns in parallel, preserving index
+    /// order: column `i` of the batch is `build(i)` (its covered rows and
+    /// cost), exactly as if the columns had been added one by one with
+    /// [`add_column`](Self::add_column). Returns the index of the first
+    /// appended column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row index is out of range or any cost is zero.
+    pub fn add_columns_par<F>(
+        &mut self,
+        parallelism: spp_par::Parallelism,
+        count: usize,
+        build: F,
+    ) -> usize
+    where
+        F: Fn(usize) -> (Vec<usize>, u64) + Sync,
+    {
+        let first = self.columns.len();
+        let num_rows = self.num_rows;
+        let built = spp_par::par_map_indices(parallelism.threads(), count, |i| {
+            let (rows, cost) = build(i);
+            assert!(cost > 0, "column cost must be positive");
+            Column { rows: BitSet::from_indices(num_rows, &rows), cost }
+        });
+        self.columns.extend(built);
+        first
+    }
+
     /// Adds a column from an already-built row set.
     ///
     /// # Panics
@@ -193,6 +222,26 @@ mod tests {
         assert!(p.is_cover(&[a, b]));
         assert!(!p.is_cover(&[a]));
         assert_eq!(p.total_cost(&[a, b]), 4);
+    }
+
+    #[test]
+    fn parallel_column_batch_matches_serial() {
+        let rows_of = |i: usize| (vec![i % 5, (i * 3) % 5], i as u64 % 7 + 1);
+        let mut serial = CoverProblem::new(5);
+        for i in 0..33 {
+            let (rows, cost) = rows_of(i);
+            serial.add_column(&rows, cost);
+        }
+        for threads in [1usize, 2, 3, 8] {
+            let mut par = CoverProblem::new(5);
+            let first = par.add_columns_par(spp_par::Parallelism::fixed(threads), 33, rows_of);
+            assert_eq!(first, 0);
+            assert_eq!(par.num_columns(), serial.num_columns(), "threads={threads}");
+            for c in 0..serial.num_columns() {
+                assert_eq!(par.rows_of(c), serial.rows_of(c), "threads={threads} col={c}");
+                assert_eq!(par.cost(c), serial.cost(c), "threads={threads} col={c}");
+            }
+        }
     }
 
     #[test]

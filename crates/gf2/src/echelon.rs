@@ -29,11 +29,67 @@ use crate::Gf2Vec;
 /// assert_eq!(w.dim(), 2);
 /// assert_eq!(w.pivots(), &[0, 1]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct EchelonBasis {
     n: u16,
     rows: Vec<Gf2Vec>,
     pivots: Vec<u16>,
+    /// FNV-1a digest of `(n, rows)`, maintained by [`EchelonBasis::insert`]
+    /// (the only mutator). The reduced echelon form is canonical per
+    /// subspace, so equal subspaces always carry equal digests — which makes
+    /// `Hash` O(1) and lets `PartialEq` bail out early on a mismatch. The
+    /// generator's grouping and sharded dedup hash every structure many
+    /// times per level; caching here is what keeps that cheap.
+    hash: u64,
+}
+
+/// `EchelonBasis` equality must stay consistent with the cached digest, so
+/// these impls are manual: `eq` fast-paths on the digest, `Hash` emits it,
+/// and `Ord` replicates the former derived `(n, rows, pivots)` ordering
+/// (which downstream types rely on for canonical sort order).
+impl PartialEq for EchelonBasis {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.n == other.n && self.rows == other.rows
+    }
+}
+
+impl Eq for EchelonBasis {}
+
+impl std::hash::Hash for EchelonBasis {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl Ord for EchelonBasis {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.n
+            .cmp(&other.n)
+            .then_with(|| self.rows.cmp(&other.rows))
+            .then_with(|| self.pivots.cmp(&other.pivots))
+    }
+}
+
+impl PartialOrd for EchelonBasis {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Fixed-key FNV-1a, so digests are deterministic across runs and across
+/// threads (a `RandomState` digest could not be shared between workers).
+struct Fnv1a(u64);
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
 }
 
 impl EchelonBasis {
@@ -45,7 +101,9 @@ impl EchelonBasis {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n <= crate::MAX_BITS, "dimension {n} exceeds {}", crate::MAX_BITS);
-        EchelonBasis { n: n as u16, rows: Vec::new(), pivots: Vec::new() }
+        let mut basis = EchelonBasis { n: n as u16, rows: Vec::new(), pivots: Vec::new(), hash: 0 };
+        basis.recompute_hash();
+        basis
     }
 
     /// Builds the subspace spanned by `vectors`.
@@ -143,7 +201,25 @@ impl EchelonBasis {
         let pos = self.pivots.partition_point(|&q| (q as usize) < p);
         self.rows.insert(pos, reduced);
         self.pivots.insert(pos, p as u16);
+        self.recompute_hash();
         true
+    }
+
+    /// A cached 64-bit digest of the subspace (its reduced normal form),
+    /// free to read. Equal subspaces have equal digests. The generator uses
+    /// it to shard same-structure groups across dedup domains without
+    /// rehashing basis rows.
+    #[must_use]
+    pub fn structure_hash(&self) -> u64 {
+        self.hash
+    }
+
+    fn recompute_hash(&mut self) {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+        self.n.hash(&mut h);
+        self.rows.hash(&mut h);
+        self.hash = h.finish();
     }
 
     /// Returns the subspace extended by `v`, or `None` if `v` is already in
@@ -420,5 +496,38 @@ mod tests {
         let w = EchelonBasis::new(4);
         assert_eq!(w.to_string(), "{0}");
         assert!(format!("{w:?}").contains("dim=0"));
+    }
+
+    #[test]
+    fn structure_hash_agrees_with_equality() {
+        // Same span built from different generator sets — same reduced
+        // normal form, so same digest.
+        let a = EchelonBasis::from_span(4, &[v("0110"), v("1010")]);
+        let b = EchelonBasis::from_span(4, &[v("1100"), v("0110")]);
+        assert_eq!(a, b);
+        assert_eq!(a.structure_hash(), b.structure_hash());
+
+        let c = EchelonBasis::from_span(4, &[v("0110")]);
+        assert_ne!(a, c);
+        assert_ne!(a.structure_hash(), c.structure_hash());
+
+        // The digest tracks mutation.
+        let mut d = c.clone();
+        assert!(d.insert(v("1010")));
+        assert_eq!(d.structure_hash(), a.structure_hash());
+    }
+
+    #[test]
+    fn hash_and_ord_are_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(EchelonBasis::from_span(4, &[v("0110"), v("1010")]));
+        set.insert(EchelonBasis::from_span(4, &[v("1100"), v("0110")]));
+        assert_eq!(set.len(), 1);
+
+        let a = EchelonBasis::new(3);
+        let b = EchelonBasis::from_span(3, &[v("100")]);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
     }
 }

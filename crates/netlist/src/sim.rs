@@ -154,6 +154,7 @@ mod tests {
                     max_pseudocubes: 5_000,
                     max_level_size: 4_000,
                     time_limit: None,
+                    ..spp_core::GenLimits::default()
                 },
                 ..SppOptions::default()
             },

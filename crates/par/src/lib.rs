@@ -1,0 +1,256 @@
+//! spp-par: deterministic scoped-thread parallel helpers.
+//!
+//! Everything here is built on `std::thread::scope` — no work stealing, no
+//! external dependencies, and no shared mutable state beyond what callers
+//! pass in. The helpers split work into **contiguous, order-preserving
+//! chunks**, so a caller that merges results in worker order gets exactly
+//! the sequential result. With one thread every helper degenerates to a
+//! plain inline loop (no threads are spawned), which is how
+//! [`Parallelism::sequential`] recovers the single-threaded code path
+//! exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Worker-thread budget for parallel phases.
+///
+/// [`Parallelism::AUTO`] resolves to the `SPP_THREADS` environment variable
+/// when set (clamped to ≥ 1), otherwise to the number of available cores.
+/// The resolution is sampled once per process. A fixed value pins the
+/// count; [`Parallelism::fixed`]`(1)` (or [`Parallelism::sequential`])
+/// recovers the sequential code path exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Parallelism(Option<NonZeroUsize>);
+
+impl Parallelism {
+    /// Resolve the worker count from `SPP_THREADS` / available cores.
+    pub const AUTO: Parallelism = Parallelism(None);
+
+    /// Exactly `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn fixed(threads: usize) -> Self {
+        Parallelism(NonZeroUsize::new(threads.max(1)))
+    }
+
+    /// The single-worker budget: bit-identical to the pre-parallel code.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self::fixed(1)
+    }
+
+    /// The resolved worker count (always ≥ 1).
+    #[must_use]
+    pub fn threads(self) -> usize {
+        match self.0 {
+            Some(n) => n.get(),
+            None => auto_threads(),
+        }
+    }
+
+    /// Whether this budget resolves to a single worker.
+    #[must_use]
+    pub fn is_sequential(self) -> bool {
+        self.threads() == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::AUTO
+    }
+}
+
+fn auto_threads() -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        let env = std::env::var("SPP_THREADS").ok();
+        parse_spp_threads(env.as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        })
+    })
+}
+
+/// Pure parsing half of the `SPP_THREADS` override, split out for testing:
+/// `Some(n)` for a parseable positive count (clamped to ≥ 1), else `None`.
+fn parse_spp_threads(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).map(|n| n.max(1))
+}
+
+/// Runs `worker(w)` for every `w in 0..threads` on scoped threads and
+/// returns the results in worker order. With `threads <= 1` the single
+/// worker runs inline on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_workers<R, F>(threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![worker(0)];
+    }
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads).map(|w| scope.spawn(move || worker(w))).collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// Order-preserving parallel map over `0..count`: returns
+/// `vec![f(0), f(1), …]` computed on up to `threads` workers, each taking a
+/// contiguous index chunk.
+pub fn par_map_indices<R, F>(threads: usize, count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.max(1).min(count.max(1));
+    if workers == 1 {
+        return (0..count).map(f).collect();
+    }
+    par_ranges(workers, count, |range| range.map(&f).collect::<Vec<R>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Order-preserving parallel map consuming a vector: returns
+/// `items.into_iter().map(f)` computed on up to `threads` workers.
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let count = items.len();
+    let workers = threads.max(1).min(count.max(1));
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut iter = items.into_iter();
+    for w in 0..workers {
+        let Range { start, end } = chunk_bounds(count, workers, w);
+        chunks.push(iter.by_ref().take(end - start).collect());
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Splits `0..count` into up to `threads` contiguous ranges and runs
+/// `f(range)` for each on its own worker, returning results in range order.
+/// Ranges cover `0..count` exactly, in order, with sizes differing by at
+/// most one.
+pub fn par_ranges<R, F>(threads: usize, count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let workers = threads.max(1).min(count.max(1));
+    if workers == 1 {
+        return vec![f(0..count)];
+    }
+    par_workers(workers, |w| f(chunk_bounds(count, workers, w)))
+}
+
+/// The `w`-th of `workers` near-equal contiguous chunks of `0..count`.
+fn chunk_bounds(count: usize, workers: usize, w: usize) -> Range<usize> {
+    let base = count / workers;
+    let rem = count % workers;
+    let start = w * base + w.min(rem);
+    let end = start + base + usize::from(w < rem);
+    start..end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::fixed(4).threads(), 4);
+        assert_eq!(Parallelism::fixed(0).threads(), 1);
+        assert!(Parallelism::sequential().is_sequential());
+        assert!(Parallelism::AUTO.threads() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::AUTO);
+    }
+
+    #[test]
+    fn spp_threads_parsing() {
+        assert_eq!(parse_spp_threads(None), None);
+        assert_eq!(parse_spp_threads(Some("garbage")), None);
+        assert_eq!(parse_spp_threads(Some("")), None);
+        assert_eq!(parse_spp_threads(Some("8")), Some(8));
+        assert_eq!(parse_spp_threads(Some(" 3\n")), Some(3));
+        assert_eq!(parse_spp_threads(Some("0")), Some(1));
+    }
+
+    #[test]
+    fn chunks_partition_the_range_in_order() {
+        for count in [0usize, 1, 5, 16, 17, 100] {
+            for workers in 1..=9 {
+                let mut next = 0;
+                for w in 0..workers {
+                    let r = chunk_bounds(count, workers, w);
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, count);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_indices_preserves_order_at_any_thread_count() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            assert_eq!(par_map_indices(threads, 37, |i| i * i), expect);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let items: Vec<String> = (0..23).map(|i| format!("item{i}")).collect();
+        let expect: Vec<usize> = items.iter().map(String::len).collect();
+        for threads in [1usize, 2, 5, 32] {
+            assert_eq!(par_map(threads, items.clone(), |s| s.len()), expect);
+        }
+    }
+
+    #[test]
+    fn par_ranges_covers_everything_once() {
+        for threads in [1usize, 2, 7] {
+            let ranges = par_ranges(threads, 50, |r| r);
+            let total: usize = ranges.iter().map(ExactSizeIterator::len).sum();
+            assert_eq!(total, 50);
+        }
+    }
+
+    #[test]
+    fn par_workers_runs_every_worker() {
+        let ids = par_workers(6, |w| w);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert_eq!(par_map_indices(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(8, Vec::<u8>::new(), |b| b), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: exactly the gates a change must pass before merging.
+#
+#   scripts/ci.sh
+#
+# Runs the offline-friendly default build (no criterion), the full test
+# suite, clippy with warnings denied, and a compile check of the
+# feature-gated Criterion bench targets.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo check benches (criterion-benches feature)"
+cargo check -p spp-bench --benches --features criterion-benches
+
+echo "ci: all gates passed"

@@ -10,6 +10,8 @@
 //!   --2spp            restrict EXOR factors to two literals
 //!   --heuristic <k>   use the SPP_k heuristic instead of the exact algorithm
 //!   --multi           multi-output minimization with shared pseudoproducts
+//!   --threads <n>     worker threads (default: SPP_THREADS env var, else
+//!                     all cores; 1 = the sequential code path)
 //!   --verilog <mod>   print a structural Verilog module
 //!   --blif <model>    print a BLIF model
 //!   --quiet           only print the summary line
@@ -30,6 +32,7 @@ struct Options {
     two_spp: bool,
     heuristic: Option<usize>,
     multi: bool,
+    threads: Option<usize>,
     verilog: Option<String>,
     blif: Option<String>,
     quiet: bool,
@@ -38,8 +41,9 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spp <minimize file.pla | bench name | list> \
-         [--sp] [--2spp] [--heuristic k] [--multi] \
-         [--verilog module] [--blif model] [--quiet]"
+         [--sp] [--2spp] [--heuristic k] [--multi] [--threads n] \
+         [--verilog module] [--blif model] [--quiet]\n\
+         worker threads default to the SPP_THREADS env var, else all cores"
     );
     ExitCode::FAILURE
 }
@@ -55,6 +59,7 @@ fn main() -> ExitCode {
         two_spp: false,
         heuristic: None,
         multi: false,
+        threads: None,
         verilog: None,
         blif: None,
         quiet: false,
@@ -69,6 +74,10 @@ fn main() -> ExitCode {
             "--quiet" => options.quiet = true,
             "--heuristic" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(k) => options.heuristic = Some(k),
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.threads = Some(n),
                 None => return usage(),
             },
             "--verilog" => match it.next() {
@@ -139,7 +148,10 @@ fn main() -> ExitCode {
 }
 
 fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
-    let spp_options = SppOptions::default();
+    let mut spp_options = SppOptions::default();
+    if let Some(n) = options.threads {
+        spp_options.gen_limits.parallelism = spp::core::Parallelism::fixed(n);
+    }
     let mut forms: Vec<SppForm> = Vec::new();
 
     if options.multi {

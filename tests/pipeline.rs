@@ -73,7 +73,12 @@ fn spp_never_exceeds_sp_even_under_tiny_budgets() {
     // the "worst case SP and SPP coincide" guarantee.
     let c = registry::circuit("newtpla2").unwrap();
     let options = SppOptions {
-        gen_limits: GenLimits { max_pseudocubes: 50, max_level_size: 30, time_limit: None },
+        gen_limits: GenLimits {
+            max_pseudocubes: 50,
+            max_level_size: 30,
+            time_limit: None,
+            ..GenLimits::default()
+        },
         ..SppOptions::default()
     };
     for j in 0..c.outputs().len() {
@@ -113,6 +118,7 @@ fn every_registered_benchmark_minimizes_one_output() {
             max_pseudocubes: 2_000,
             max_level_size: 1_500,
             time_limit: Some(std::time::Duration::from_secs(2)),
+            ..GenLimits::default()
         },
         ..SppOptions::default()
     };

@@ -1,0 +1,123 @@
+//! Strategies for collections, mirroring `proptest::collection`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A collection-size specification: an exact size or a size range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// A `Vec` of values from `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` of distinct values from `element`, aiming for a size drawn
+/// from `size`. If the element domain is too small to reach the drawn size,
+/// the set stops growing after a bounded number of duplicate draws.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut duplicate_draws = 0;
+        while set.len() < target && duplicate_draws < 64 + 16 * target {
+            if !set.insert(self.element.generate(rng)) {
+                duplicate_draws += 1;
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_spec() {
+        let mut rng = TestRng::new(3);
+        let exact = vec(0u8..10, 4usize);
+        assert_eq!(exact.generate(&mut rng).len(), 4);
+        let ranged = vec(0u8..10, 1..=6);
+        for _ in 0..200 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..=6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_distinct_and_bounded() {
+        let mut rng = TestRng::new(4);
+        let s = btree_set(0usize..5, 1..=5);
+        for _ in 0..200 {
+            let set = s.generate(&mut rng);
+            assert!(!set.is_empty() && set.len() <= 5);
+            assert!(set.iter().all(|&v| v < 5));
+        }
+    }
+}

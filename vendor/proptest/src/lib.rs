@@ -1,0 +1,148 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so this vendor crate re-implements the slice of the proptest
+//! API the workspace's tests use: the [`proptest!`] macro (with
+//! `#![proptest_config(...)]`), `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!` / `prop_assume!` / `prop_oneof!`, range and tuple
+//! strategies, `any::<T>()`, `prop_map` / `prop_flat_map`,
+//! `collection::{vec, btree_set}`, and `&str` regex strategies (a small
+//! regex subset, see [`string`]).
+//!
+//! Two deliberate simplifications relative to real proptest:
+//!
+//! - **No shrinking.** A failing case panics with the formatted assertion
+//!   message; the deterministic per-test seed makes failures reproducible.
+//! - **Deterministic seeds.** The RNG seed derives from the test's module
+//!   path and name, so runs are stable across invocations and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current test case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]`-able function that runs the body over generated
+/// inputs. An optional leading `#![proptest_config(expr)]` sets the
+/// [`test_runner::ProptestConfig`] for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                |__proptest_rng: &mut $crate::test_runner::TestRng|
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            __proptest_rng,
+                        );
+                    )+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,198 @@
+//! A tiny generator for the regex subset this workspace's tests use as
+//! string strategies: literal characters, `\`-escapes, character classes
+//! with ranges, and `{n}` / `{n,m}` counted repetition.
+//!
+//! Anything outside that subset (alternation, groups, `*`, `+`, `?`,
+//! unescaped `.`) panics with a clear message, so an unsupported pattern
+//! fails loudly rather than generating wrong data.
+
+use crate::test_runner::TestRng;
+
+/// One consecutive piece of the pattern: a set of candidate characters plus
+/// a repetition count range (inclusive).
+struct Piece {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Generates a string matching `pattern` (see the module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+        for _ in 0..count {
+            let idx = rng.below(piece.chars.len() as u64) as usize;
+            out.push(piece.chars[idx]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let set = match chars[i] {
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in regex '{pattern}'");
+                let c = unescape(chars[i]);
+                i += 1;
+                vec![c]
+            }
+            '[' => parse_class(pattern, &chars, &mut i),
+            c @ ('.' | '*' | '+' | '?' | '(' | ')' | '|') => {
+                panic!("regex operator '{c}' is not supported by the offline proptest stand-in (pattern '{pattern}')")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            parse_quantifier(pattern, &chars, &mut i)
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty(), "empty character class in regex '{pattern}'");
+        pieces.push(Piece { chars: set, min, max });
+    }
+    pieces
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        other => other, // \\ \. \- \[ … mean the literal character
+    }
+}
+
+/// Parses `[...]` starting at `*i == '['`, leaving `*i` past the `]`.
+fn parse_class(pattern: &str, chars: &[char], i: &mut usize) -> Vec<char> {
+    *i += 1; // consume '['
+    let mut set = Vec::new();
+    loop {
+        assert!(*i < chars.len(), "unterminated character class in regex '{pattern}'");
+        let c = match chars[*i] {
+            ']' => {
+                *i += 1;
+                return set;
+            }
+            '\\' => {
+                *i += 1;
+                assert!(*i < chars.len(), "dangling escape in regex '{pattern}'");
+                let c = unescape(chars[*i]);
+                *i += 1;
+                set.push(c);
+                continue; // an escaped char never starts a range
+            }
+            c => {
+                *i += 1;
+                c
+            }
+        };
+        // `a-z` range? Only when '-' is not the last char before ']'.
+        if *i + 1 < chars.len() && chars[*i] == '-' && chars[*i + 1] != ']' {
+            *i += 1;
+            let hi = if chars[*i] == '\\' {
+                *i += 1;
+                unescape(chars[*i])
+            } else {
+                chars[*i]
+            };
+            *i += 1;
+            assert!(c <= hi, "inverted range in regex '{pattern}'");
+            set.extend((c as u32..=hi as u32).filter_map(char::from_u32));
+        } else {
+            set.push(c);
+        }
+    }
+}
+
+/// Parses `{n}` or `{n,m}` starting at `*i == '{'`, leaving `*i` past `}`.
+fn parse_quantifier(pattern: &str, chars: &[char], i: &mut usize) -> (u32, u32) {
+    *i += 1; // consume '{'
+    let mut parts: Vec<u32> = vec![0];
+    loop {
+        assert!(*i < chars.len(), "unterminated quantifier in regex '{pattern}'");
+        match chars[*i] {
+            '}' => {
+                *i += 1;
+                break;
+            }
+            ',' => parts.push(0),
+            d @ '0'..='9' => {
+                let last = parts.last_mut().expect("parts starts non-empty");
+                *last = *last * 10 + (d as u32 - '0' as u32);
+            }
+            other => panic!("bad quantifier char '{other}' in regex '{pattern}'"),
+        }
+        *i += 1;
+    }
+    match parts[..] {
+        [n] => (n, n),
+        [n, m] => {
+            assert!(n <= m, "inverted quantifier in regex '{pattern}'");
+            (n, m)
+        }
+        _ => panic!("bad quantifier in regex '{pattern}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, seed: u64) -> String {
+        generate_matching(pattern, &mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn literal_pieces_pass_through() {
+        assert_eq!(sample("abc", 1), "abc");
+        assert_eq!(sample("\\.i 3", 2), ".i 3");
+    }
+
+    #[test]
+    fn classes_and_quantifiers_generate_in_bounds() {
+        for seed in 0..200 {
+            let s = sample("[01\\-]{1,6} [01\\-~]{1,4}", seed);
+            let (a, b) = s.split_once(' ').expect("one space");
+            assert!((1..=6).contains(&a.chars().count()), "{s:?}");
+            assert!((1..=4).contains(&b.chars().count()), "{s:?}");
+            assert!(a.chars().all(|c| "01-".contains(c)));
+            assert!(b.chars().all(|c| "01-~".contains(c)));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_printables_and_escapes() {
+        for seed in 0..200 {
+            let s = sample("[ -~\n]{0,300}", seed);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn alpha_class_with_exact_count() {
+        for seed in 0..50 {
+            let s = sample("\\.[a-z]{1,8}", seed);
+            assert!(s.starts_with('.'));
+            let tail = &s[1..];
+            assert!((1..=8).contains(&tail.chars().count()));
+            assert!(tail.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn unsupported_operator_panics() {
+        sample("a*", 0);
+    }
+}

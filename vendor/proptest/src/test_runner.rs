@@ -1,0 +1,171 @@
+//! The case-execution machinery behind the [`proptest!`](crate::proptest)
+//! macro: a deterministic RNG, the outcome type, the configuration, and the
+//! driver loop.
+
+/// Deterministic random source driving value generation (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x6A09_E667_F3BC_C909 }
+    }
+
+    /// Returns the next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses plain modulo reduction; the bias is irrelevant at test scales.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.next_u64() % bound
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property does not hold for the inputs.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; the case is retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure (used by the `prop_assert*` macros).
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection (used by `prop_assume!`).
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Execution configuration of a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration requiring `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs `case` until `config.cases` cases are accepted, panicking on the
+/// first failure. The RNG seed is derived from `name`, so every test has its
+/// own deterministic input stream.
+pub fn run(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let seed0 = fnv1a(name.as_bytes());
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    // `prop_assume!` rejections retry with fresh inputs, up to this budget.
+    let max_attempts = u64::from(config.cases) * 64 + 1024;
+    while accepted < config.cases && attempt < max_attempts {
+        let mut rng = TestRng::new(seed0 ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed (case seed index {attempt}): {msg}")
+            }
+        }
+        attempt += 1;
+    }
+    assert!(
+        accepted >= config.cases.min(1),
+        "property '{name}': input generation rejected every case ({attempt} attempts)"
+    );
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(5);
+        let mut b = TestRng::new(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn run_counts_accepted_cases() {
+        let mut calls = 0;
+        run("counting", &ProptestConfig::with_cases(10), |_| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn run_retries_rejected_cases() {
+        let mut calls = 0u64;
+        run("rejecting", &ProptestConfig::with_cases(4), |rng| {
+            calls += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::reject("even"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'failing' failed")]
+    fn run_panics_on_failure() {
+        run("failing", &ProptestConfig::default(), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -1,0 +1,53 @@
+//! End-to-end exercise of the macro surface this stand-in must support —
+//! the same shapes the workspace's real test suites use.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Doc comments and `#[test]` attributes must pass through.
+    #[test]
+    fn tuples_and_flat_map(x in any::<u64>(), (n, vs) in (2usize..=6).prop_flat_map(|n| {
+        (Just(n), proptest::collection::vec(0u64..(1u64 << n), 0..=4))
+    })) {
+        prop_assert!((2..=6).contains(&n));
+        for v in &vs {
+            prop_assert!(*v < (1u64 << n), "v = {} out of range for n = {}", v, n);
+        }
+        let _ = x;
+    }
+
+    #[test]
+    fn assume_retries(v in 0u32..100) {
+        prop_assume!(v % 2 == 0);
+        prop_assert!(v % 2 == 0);
+        prop_assert_eq!(v % 2, 0);
+        prop_assert_ne!(v % 2, 1);
+    }
+
+    #[test]
+    fn oneof_and_regex_strategies(line in prop_oneof![
+        Just(".i 3".to_owned()),
+        "[01\\-]{1,6} [01\\-~]{1,4}",
+        "\\.[a-z]{1,8}",
+    ]) {
+        prop_assert!(!line.is_empty());
+    }
+
+    #[test]
+    fn btree_sets_are_distinct(set in proptest::collection::btree_set(0usize..20, 1..=10)) {
+        prop_assert!(!set.is_empty());
+        let as_vec: Vec<_> = set.iter().copied().collect();
+        let mut dedup = as_vec.clone();
+        dedup.dedup();
+        prop_assert_eq!(&as_vec, &dedup);
+    }
+}
+
+proptest! {
+    #[test]
+    fn default_config_form_works(v in 0u8..10) {
+        prop_assert!(v < 10);
+    }
+}

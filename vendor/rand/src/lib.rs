@@ -1,0 +1,175 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so this vendor crate provides the (deliberately small) subset of
+//! the `rand 0.8` API the workspace actually uses: [`RngCore`],
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] convenience methods `gen`,
+//! `gen_bool` and `gen_range`, and [`rngs::StdRng`].
+//!
+//! Every generator here is deterministic for a given seed, which is exactly
+//! what the workspace wants: `rand` is only used for seeded surrogate
+//! benchmark generation and seeded randomized tests. The streams differ from
+//! the real `rand` crate's; no test in this workspace asserts exact stream
+//! values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Generators that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `seed`. Equal seeds give equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from their whole domain
+/// (the stand-in for `rand`'s `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one uniform value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a uniform value can be drawn from (stand-in for
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range, which must be non-empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample an empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = ((self.end as i128) - (self.start as i128)) as u128;
+                ((self.start as i128) + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample an empty range");
+                let span = ((hi as i128) - (lo as i128)) as u128 + 1;
+                ((lo as i128) + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p` (which must lie in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        // 53 uniform mantissa bits give a uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Draws a uniform value from `range`, which must be non-empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(1..=6);
+            assert!((1..=6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+}
