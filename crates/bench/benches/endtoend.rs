@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spp_benchgen::registry;
 use spp_boolfn::BoolFn;
-use spp_core::{generate_eppp, minimize_spp_exact, minimize_spp_heuristic, Grouping, SppOptions};
+use spp_core::{Grouping, Minimizer, SppOptions};
 use spp_sp::minimize_sp;
 
 fn slices() -> Vec<(&'static str, BoolFn)> {
@@ -18,27 +18,26 @@ fn slices() -> Vec<(&'static str, BoolFn)> {
 /// Per-iteration budgets small enough that a bench iteration is the
 /// algorithm, not a covering-solver timeout.
 fn options() -> SppOptions {
-    SppOptions {
-        gen_limits: spp_core::GenLimits {
-            max_pseudocubes: 100_000,
-            max_level_size: 80_000,
-            time_limit: None,
-            parallelism: spp_core::Parallelism::AUTO,
-        },
-        cover_limits: spp_cover::Limits {
+    SppOptions::default()
+        .with_gen_limits(
+            spp_core::GenLimits::default()
+                .with_max_pseudocubes(100_000)
+                .with_max_level_size(80_000)
+                .with_time_limit(None)
+                .with_parallelism(spp_core::Parallelism::AUTO),
+        )
+        .with_cover_limits(spp_cover::Limits {
             max_nodes: 20_000,
             time_limit: Some(std::time::Duration::from_millis(200)),
             max_exact_columns: 3_000,
-        },
-        ..SppOptions::default()
-    }
+        })
 }
 
 fn bench_exact(c: &mut Criterion) {
     let options = options();
     for (name, f) in slices() {
         c.bench_function(&format!("exact_spp/{name}"), |b| {
-            b.iter(|| black_box(minimize_spp_exact(&f, &options)))
+            b.iter(|| black_box(Minimizer::new(&f).options(options.clone()).run_exact()))
         });
     }
 }
@@ -47,7 +46,14 @@ fn bench_heuristic(c: &mut Criterion) {
     let options = options();
     for (name, f) in slices() {
         c.bench_function(&format!("heuristic_spp0/{name}"), |b| {
-            b.iter(|| black_box(minimize_spp_heuristic(&f, 0, &options)))
+            b.iter(|| {
+                black_box(
+                    Minimizer::new(&f)
+                        .options(options.clone())
+                        .run_heuristic(0)
+                        .expect("k = 0 is always in range"),
+                )
+            })
         });
     }
 }
@@ -70,7 +76,9 @@ fn bench_generation_strategies(c: &mut Criterion) {
         ("quadratic_baseline", Grouping::Quadratic),
     ] {
         c.bench_function(&format!("eppp_generation/{label}"), |b| {
-            b.iter(|| black_box(generate_eppp(&f, grouping, &limits)))
+            b.iter(|| {
+                black_box(Minimizer::new(&f).grouping(grouping).limits(limits.clone()).generate())
+            })
         });
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use spp_bench::{circuit_or_die, starred, Mode};
-use spp_core::{minimize_2spp, minimize_spp_exact};
+use spp_core::Minimizer;
 use spp_netlist::Netlist;
 use spp_sp::minimize_sp;
 
@@ -41,8 +41,9 @@ fn main() {
                 continue;
             }
             let sp = minimize_sp(&f, &mode.sp_limits());
-            let two = minimize_2spp(&f, &options);
-            let full = minimize_spp_exact(&f, &options);
+            let session = Minimizer::new(&f).options(options.clone());
+            let two = session.run_restricted(2).expect("width 2 is valid");
+            let full = session.run_exact();
             two.form.check_realizes(&f).expect("2-SPP form must verify");
             full.form.check_realizes(&f).expect("SPP form must verify");
             trunc |= !two.optimal || !full.optimal || !sp.optimal;

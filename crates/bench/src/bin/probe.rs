@@ -5,7 +5,7 @@
 //! support/on-set profile of every output if no index is given.
 
 use spp_bench::{circuit_or_die, secs, timed, Mode};
-use spp_core::{minimize_spp_exact, SppOptions};
+use spp_core::{Minimizer, SppOptions};
 use spp_sp::minimize_sp;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
             secs(sp_dt)
         );
         let options: SppOptions = mode.spp_options();
-        let spp = minimize_spp_exact(&f, &options);
+        let spp = Minimizer::new(&f).options(options).run_exact();
         spp.form.check_realizes(&f).expect("SPP form failed verification");
         println!(
             "SPP: #EPPP {:6}  #L {:6}  #PP {:4}  optimal={}  [gen {} s + cover {} s]",

@@ -4,14 +4,19 @@
 //!
 //! ```text
 //! cargo run --release -p spp-bench --bin report [--full] [-o report.md]
-//! cargo run --release -p spp-bench --bin report -- --json [-o BENCH_spp.json]
+//! cargo run --release -p spp-bench --bin report -- --json [--threads N] [-o BENCH_spp.json]
 //! ```
 //!
 //! The JSON report times EPPP construction on the harness's hardest
 //! outputs (the "additional rows" of `table2`) under three configurations
 //! — partition trie sequential, partition trie at the full worker budget,
 //! and the quadratic baseline — so a CI diff of two baselines shows both
-//! algorithmic and parallel-scaling regressions.
+//! algorithmic and parallel-scaling regressions. Each entry records the
+//! generation [`spp_core::Outcome`] and the covering wall time, and the
+//! baseline's header records the worker budget that was actually used
+//! (`resolved_threads`). `--threads N` pins that budget and **wins over
+//! the `SPP_THREADS` environment variable**; with neither, the budget is
+//! the machine's available parallelism.
 
 use std::io::Write as _;
 use std::process::Command;
@@ -40,11 +45,13 @@ struct BenchEntry {
     grouping: &'static str,
     threads: usize,
     wall_ms: f64,
+    cover_ms: f64,
     comparisons: u64,
     eppp: usize,
     max_level: usize,
     spp_literals: u64,
     truncated: bool,
+    outcome: &'static str,
 }
 
 impl BenchEntry {
@@ -53,26 +60,29 @@ impl BenchEntry {
         // escaping needed.
         format!(
             "    {{\"name\": \"{}\", \"grouping\": \"{}\", \"threads\": {}, \
-             \"wall_ms\": {:.3}, \"comparisons\": {}, \"eppp\": {}, \
-             \"max_level\": {}, \"spp_literals\": {}, \"truncated\": {}}}",
+             \"wall_ms\": {:.3}, \"cover_ms\": {:.3}, \"comparisons\": {}, \"eppp\": {}, \
+             \"max_level\": {}, \"spp_literals\": {}, \"truncated\": {}, \"outcome\": \"{}\"}}",
             self.name,
             self.grouping,
             self.threads,
             self.wall_ms,
+            self.cover_ms,
             self.comparisons,
             self.eppp,
             self.max_level,
             self.spp_literals,
-            self.truncated
+            self.truncated,
+            self.outcome
         )
     }
 }
 
-/// Minimum-literal cover over an EPPP set (the `#L` the entries record).
-fn spp_literals(f: &spp_boolfn::BoolFn, set: &spp_core::EpppSet, mode: Mode) -> u64 {
+/// Minimum-literal cover over an EPPP set (the `#L` the entries record)
+/// plus the covering wall time in milliseconds.
+fn spp_literals(f: &spp_boolfn::BoolFn, set: &spp_core::EpppSet, mode: Mode) -> (u64, f64) {
     let on = f.on_set();
     if on.is_empty() {
-        return 0;
+        return (0, 0.0);
     }
     let mut problem = spp_cover::CoverProblem::new(on.len());
     problem.add_columns_par(Parallelism::AUTO, set.pseudocubes.len(), |c| {
@@ -81,54 +91,60 @@ fn spp_literals(f: &spp_boolfn::BoolFn, set: &spp_core::EpppSet, mode: Mode) -> 
             on.iter().enumerate().filter(|(_, p)| pc.contains(p)).map(|(i, _)| i).collect();
         (rows, pc.literal_count().max(1))
     });
-    spp_cover::solve_auto(&problem, &mode.sp_limits())
-        .columns
-        .iter()
-        .map(|&c| set.pseudocubes[c].literal_count())
-        .sum()
+    let (solution, dt) = spp_bench::timed(|| spp_cover::solve_auto(&problem, &mode.sp_limits()));
+    let lits = solution.columns.iter().map(|&c| set.pseudocubes[c].literal_count()).sum();
+    (lits, dt.as_secs_f64() * 1e3)
 }
 
 /// Writes the machine-readable benchmark baseline.
-fn emit_json(out_path: &str, full: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn emit_json(
+    out_path: &str,
+    full: bool,
+    threads_flag: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let mode = if full { Mode::Full } else { Mode::Fast };
-    let auto_threads = Parallelism::AUTO.threads();
+    // `--threads` wins over the SPP_THREADS environment default (which
+    // Parallelism::AUTO already folds in).
+    let budget = threads_flag.map_or(Parallelism::AUTO, Parallelism::fixed);
+    let resolved_threads = budget.threads();
     let mut entries: Vec<BenchEntry> = Vec::new();
     for &(name, idx) in JSON_ROWS {
         let f = circuit_or_die(name).output_on_support(idx);
         let configs = [
             ("trie", Grouping::PartitionTrie, Parallelism::sequential()),
-            ("trie", Grouping::PartitionTrie, Parallelism::AUTO),
+            ("trie", Grouping::PartitionTrie, budget),
             ("quadratic", Grouping::Quadratic, Parallelism::sequential()),
         ];
         let mut literals = None;
         for (grouping_label, grouping, parallelism) in configs {
-            let limits =
-                spp_core::GenLimits { parallelism, ..spp_bench::table2_gen_limits(mode) };
+            let limits = spp_bench::table2_gen_limits(mode).with_parallelism(parallelism);
             eprintln!("timing {name}({idx}) {grouping_label} x{} ...", parallelism.threads());
             let (set, dt) = timed_eppp_with(&f, grouping, &limits);
             // #L depends only on the candidate set; every non-truncated
             // configuration yields the same one, so solve the cover once.
-            let lits = *literals
-                .get_or_insert_with(|| spp_literals(&f, &set, mode));
+            let (lits, cover_ms) =
+                *literals.get_or_insert_with(|| spp_literals(&f, &set, mode));
             entries.push(BenchEntry {
                 name: format!("{name}({idx})"),
                 grouping: grouping_label,
                 threads: parallelism.threads(),
                 wall_ms: dt.as_secs_f64() * 1e3,
+                cover_ms,
                 comparisons: set.stats.comparisons,
                 eppp: set.pseudocubes.len(),
                 max_level: set.stats.levels.iter().map(|l| l.size).max().unwrap_or(0),
                 spp_literals: lits,
                 truncated: set.stats.truncated,
+                outcome: set.stats.outcome.as_str(),
             });
         }
     }
     let body: Vec<String> = entries.iter().map(BenchEntry::to_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"spp-bench/1\",\n  \"profile\": \"{}\",\n  \
-         \"auto_threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"spp-bench/2\",\n  \"profile\": \"{}\",\n  \
+         \"resolved_threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
         if full { "full" } else { "fast" },
-        auto_threads,
+        resolved_threads,
         body.join(",\n")
     );
     std::fs::write(out_path, json)?;
@@ -140,6 +156,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
+    let threads_flag = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--threads takes a positive integer"));
     let out_path = args
         .iter()
         .position(|a| a == "-o")
@@ -147,7 +168,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .cloned()
         .unwrap_or_else(|| if json { "BENCH_spp.json".to_owned() } else { "report.md".to_owned() });
     if json {
-        return emit_json(&out_path, full);
+        return emit_json(&out_path, full, threads_flag);
     }
 
     // The sibling binaries live next to this one.

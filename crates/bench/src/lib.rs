@@ -23,10 +23,7 @@
 use std::time::{Duration, Instant};
 
 use spp_boolfn::BoolFn;
-use spp_core::{
-    generate_eppp, minimize_spp_exact, minimize_spp_heuristic, EpppSet, Grouping, SppMinResult,
-    SppOptions,
-};
+use spp_core::{EpppSet, Grouping, Minimizer, SppMinResult, SppOptions};
 use spp_sp::{minimize_sp, SpMinResult};
 
 /// Resource profile of a harness run.
@@ -64,34 +61,34 @@ impl Mode {
     #[must_use]
     pub fn spp_options(self) -> SppOptions {
         match self {
-            Mode::Fast => SppOptions {
-                grouping: Grouping::PartitionTrie,
-                gen_limits: spp_core::GenLimits {
-                    max_pseudocubes: 150_000,
-                    max_level_size: 100_000,
-                    time_limit: Some(Duration::from_secs(10)),
-                    parallelism: spp_core::Parallelism::AUTO,
-                },
-                cover_limits: spp_cover::Limits {
+            Mode::Fast => SppOptions::default()
+                .with_grouping(Grouping::PartitionTrie)
+                .with_gen_limits(
+                    spp_core::GenLimits::default()
+                        .with_max_pseudocubes(150_000)
+                        .with_max_level_size(100_000)
+                        .with_time_limit(Some(Duration::from_secs(10)))
+                        .with_parallelism(spp_core::Parallelism::AUTO),
+                )
+                .with_cover_limits(spp_cover::Limits {
                     max_nodes: 200_000,
                     time_limit: Some(Duration::from_secs(5)),
                     max_exact_columns: 4_000,
-                },
-            },
-            Mode::Full => SppOptions {
-                grouping: Grouping::PartitionTrie,
-                gen_limits: spp_core::GenLimits {
-                    max_pseudocubes: 600_000,
-                    max_level_size: 400_000,
-                    time_limit: Some(Duration::from_secs(300)),
-                    parallelism: spp_core::Parallelism::AUTO,
-                },
-                cover_limits: spp_cover::Limits {
+                }),
+            Mode::Full => SppOptions::default()
+                .with_grouping(Grouping::PartitionTrie)
+                .with_gen_limits(
+                    spp_core::GenLimits::default()
+                        .with_max_pseudocubes(600_000)
+                        .with_max_level_size(400_000)
+                        .with_time_limit(Some(Duration::from_secs(300)))
+                        .with_parallelism(spp_core::Parallelism::AUTO),
+                )
+                .with_cover_limits(spp_cover::Limits {
                     max_nodes: 2_000_000,
                     time_limit: Some(Duration::from_secs(60)),
                     max_exact_columns: 20_000,
-                },
-            },
+                }),
         }
     }
 
@@ -176,7 +173,7 @@ pub fn sp_vs_spp(outputs: &[BoolFn], mode: Mode) -> (SpAggregate, SppAggregate) 
         let f = &outputs[i];
         let sp = minimize_sp(f, &mode.sp_limits());
         assert!(sp.form.realizes(f), "SP form failed verification");
-        let (spp, dt) = timed(|| minimize_spp_exact(f, &options));
+        let (spp, dt) = timed(|| Minimizer::new(f).options(options.clone()).run_exact());
         spp.form.check_realizes(f).expect("SPP form failed verification");
         (sp, spp, dt)
     });
@@ -205,7 +202,10 @@ pub fn heuristic_sum(outputs: &[BoolFn], k: usize, mode: Mode) -> (Vec<SppMinRes
     timed(|| {
         spp_par::par_map_indices(outer, outputs.len(), |i| {
             let f = &outputs[i];
-            let r = minimize_spp_heuristic(f, k.min(f.num_vars().saturating_sub(1)), &options);
+            let r = Minimizer::new(f)
+                .options(options.clone())
+                .run_heuristic(k.min(f.num_vars().saturating_sub(1)))
+                .expect("clamped k is always in range");
             r.form.check_realizes(f).expect("heuristic SPP form failed verification");
             r
         })
@@ -216,7 +216,12 @@ pub fn heuristic_sum(outputs: &[BoolFn], k: usize, mode: Mode) -> (Vec<SppMinRes
 #[must_use]
 pub fn heuristic_point(f: &BoolFn, k: usize, mode: Mode) -> (SppMinResult, Duration) {
     let options = mode.spp_options();
-    let (r, dt) = timed(|| minimize_spp_heuristic(f, k, &options));
+    let (r, dt) = timed(|| {
+        Minimizer::new(f)
+            .options(options.clone())
+            .run_heuristic(k)
+            .expect("harness callers pass k < n")
+    });
     r.form.check_realizes(f).expect("heuristic SPP form failed verification");
     (r, dt)
 }
@@ -235,7 +240,7 @@ pub fn timed_eppp_with(
     grouping: Grouping,
     limits: &spp_core::GenLimits,
 ) -> (EpppSet, Duration) {
-    timed(|| generate_eppp(f, grouping, limits))
+    timed(|| Minimizer::new(f).grouping(grouping).limits(limits.clone()).generate())
 }
 
 /// Generation budgets for the Table 2 timing comparison: generous enough
@@ -245,18 +250,16 @@ pub fn timed_eppp_with(
 #[must_use]
 pub fn table2_gen_limits(mode: Mode) -> spp_core::GenLimits {
     match mode {
-        Mode::Fast => spp_core::GenLimits {
-            max_pseudocubes: 400_000,
-            max_level_size: 250_000,
-            time_limit: Some(Duration::from_secs(30)),
-            parallelism: spp_core::Parallelism::AUTO,
-        },
-        Mode::Full => spp_core::GenLimits {
-            max_pseudocubes: 1_000_000,
-            max_level_size: 700_000,
-            time_limit: Some(Duration::from_secs(900)),
-            parallelism: spp_core::Parallelism::AUTO,
-        },
+        Mode::Fast => spp_core::GenLimits::default()
+            .with_max_pseudocubes(400_000)
+            .with_max_level_size(250_000)
+            .with_time_limit(Some(Duration::from_secs(30)))
+            .with_parallelism(spp_core::Parallelism::AUTO),
+        Mode::Full => spp_core::GenLimits::default()
+            .with_max_pseudocubes(1_000_000)
+            .with_max_level_size(700_000)
+            .with_time_limit(Some(Duration::from_secs(900)))
+            .with_parallelism(spp_core::Parallelism::AUTO),
     }
 }
 

@@ -160,12 +160,12 @@ mod tests {
 
     #[test]
     fn spp_collapses_gray_converter() {
-        use spp_core::{minimize_spp_exact, SppOptions};
+        use spp_core::Minimizer;
         // Every binary→Gray output is a single 2-literal factor.
         let c = binary_to_gray(4);
         for j in 0..3 {
             let f = c.output_on_support(j);
-            let r = minimize_spp_exact(&f, &SppOptions::default());
+            let r = Minimizer::new(&f).run_exact();
             assert_eq!(r.literal_count(), 2, "output {j}");
             assert_eq!(r.form.num_pseudoproducts(), 1);
         }
@@ -173,10 +173,10 @@ mod tests {
 
     #[test]
     fn spp_collapses_comparator_equality() {
-        use spp_core::{minimize_spp_exact, SppOptions};
+        use spp_core::Minimizer;
         let c = comparator(3);
         let eq = c.output_on_support(1);
-        let r = minimize_spp_exact(&eq, &SppOptions::default());
+        let r = Minimizer::new(&eq).run_exact();
         // (a0⊕b̄0)·(a1⊕b̄1)·(a2⊕b̄2): one pseudoproduct, 6 literals.
         assert_eq!(r.form.num_pseudoproducts(), 1);
         assert_eq!(r.literal_count(), 6);

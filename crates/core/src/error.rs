@@ -1,0 +1,171 @@
+//! The workspace-wide error type for minimization sessions.
+
+use std::error::Error;
+use std::fmt;
+
+use spp_boolfn::{ParseCubeError, ParsePlaError};
+
+/// Everything that can go wrong when configuring or feeding a
+/// minimization session: PLA/cube parse failures, invalid options and
+/// seed covers that violate their contract.
+///
+/// Replaces the previous mix of ad-hoc panics and `Option` returns; the
+/// deprecated free-function wrappers keep their old panicking behaviour
+/// by unwrapping this error with the same messages.
+///
+/// # Examples
+///
+/// ```
+/// use spp_core::{parse_pla, SppError};
+///
+/// let err = parse_pla("not a pla file").unwrap_err();
+/// assert!(matches!(err, SppError::Pla(_)));
+/// assert!(err.to_string().contains("PLA"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SppError {
+    /// An Espresso `.pla` file failed to parse.
+    Pla(ParsePlaError),
+    /// A positional cube string failed to parse.
+    Cube(ParseCubeError),
+    /// The heuristic work parameter `k` is out of the paper's `0 ≤ k < n`
+    /// range.
+    HeuristicK {
+        /// The offending parameter.
+        k: usize,
+        /// The function's variable count.
+        n: usize,
+    },
+    /// A restricted synthesis asked for EXOR factors of zero literals.
+    ZeroFactorWidth,
+    /// Multi-output minimization was given no outputs.
+    NoOutputs,
+    /// Multi-output minimization was given outputs over different
+    /// variable counts.
+    MixedVariableCounts {
+        /// Variable count of the first output.
+        expected: usize,
+        /// The first differing variable count found.
+        found: usize,
+    },
+    /// A heuristic seed cover leaves some ON-set minterm uncovered.
+    SeedNotACover {
+        /// A textual rendering of an uncovered ON-set point.
+        point: String,
+    },
+    /// A heuristic seed cube covers OFF-set points (is not an implicant).
+    SeedNotImplicant {
+        /// A textual rendering of the offending cube.
+        cube: String,
+    },
+}
+
+impl fmt::Display for SppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SppError::Pla(e) => write!(f, "{e}"),
+            SppError::Cube(e) => write!(f, "{e}"),
+            SppError::HeuristicK { k, n } => {
+                write!(f, "heuristic parameter k={k} must satisfy 0 <= k < n (n = {n})")
+            }
+            SppError::ZeroFactorWidth => {
+                write!(f, "factors must be allowed at least one literal")
+            }
+            SppError::NoOutputs => {
+                write!(f, "multi-output minimization needs at least one output")
+            }
+            SppError::MixedVariableCounts { expected, found } => write!(
+                f,
+                "all outputs must share the input variables (expected {expected}, found {found})"
+            ),
+            SppError::SeedNotACover { point } => {
+                write!(f, "seed cubes must cover the ON-set (point {point} uncovered)")
+            }
+            SppError::SeedNotImplicant { cube } => {
+                write!(f, "seed cube {cube} is not an implicant")
+            }
+        }
+    }
+}
+
+impl Error for SppError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SppError::Pla(e) => Some(e),
+            SppError::Cube(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParsePlaError> for SppError {
+    fn from(e: ParsePlaError) -> Self {
+        SppError::Pla(e)
+    }
+}
+
+impl From<ParseCubeError> for SppError {
+    fn from(e: ParseCubeError) -> Self {
+        SppError::Cube(e)
+    }
+}
+
+/// Parses an Espresso `.pla` file under the unified error type.
+///
+/// # Errors
+///
+/// Returns [`SppError::Pla`] when the text is not a valid PLA file.
+///
+/// # Examples
+///
+/// ```
+/// let pla = spp_core::parse_pla(".i 2\n.o 1\n01 1\n10 1\n.e\n").unwrap();
+/// assert_eq!(pla.num_outputs(), 1);
+/// ```
+pub fn parse_pla(text: &str) -> Result<spp_boolfn::Pla, SppError> {
+    text.parse::<spp_boolfn::Pla>().map_err(SppError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_violation() {
+        let e = SppError::HeuristicK { k: 5, n: 4 };
+        assert!(e.to_string().contains("k=5"));
+        assert!(e.to_string().contains("must satisfy"));
+        assert!(SppError::ZeroFactorWidth.to_string().contains("at least one literal"));
+        assert!(SppError::NoOutputs.to_string().contains("at least one output"));
+        let e = SppError::MixedVariableCounts { expected: 3, found: 4 };
+        assert!(e.to_string().contains("share the input variables"));
+        let e = SppError::SeedNotACover { point: "0110".into() };
+        assert!(e.to_string().contains("must cover the ON-set"));
+        let e = SppError::SeedNotImplicant { cube: "1-0".into() };
+        assert!(e.to_string().contains("not an implicant"));
+    }
+
+    #[test]
+    fn parse_errors_round_trip_through_the_unified_type() {
+        let pla_err = "garbage".parse::<spp_boolfn::Pla>().unwrap_err();
+        let unified: SppError = pla_err.clone().into();
+        assert_eq!(unified, SppError::Pla(pla_err.clone()));
+        // Display and source both reach the wrapped error.
+        assert_eq!(unified.to_string(), pla_err.to_string());
+        let source = std::error::Error::source(&unified).expect("wrapped source");
+        assert_eq!(source.to_string(), pla_err.to_string());
+
+        let cube_err = "10q".parse::<spp_boolfn::Cube>().unwrap_err();
+        let unified: SppError = cube_err.clone().into();
+        assert_eq!(unified, SppError::Cube(cube_err.clone()));
+        assert_eq!(unified.to_string(), cube_err.to_string());
+    }
+
+    #[test]
+    fn parse_pla_wraps_parser_errors() {
+        assert!(parse_pla(".i 2\n.o 1\n01 1\n.e\n").is_ok());
+        let err = parse_pla(".i 2\n.o 1\n0111 1\n.e\n").unwrap_err();
+        assert!(matches!(err, SppError::Pla(_)), "{err:?}");
+    }
+}

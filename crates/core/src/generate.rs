@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use spp_boolfn::BoolFn;
 use spp_gf2::EchelonBasis;
+use spp_obs::{Event, Outcome, RunCtx};
 use spp_par::{par_map, par_workers, Parallelism};
 
 use crate::{PartitionTrie, Pseudocube};
@@ -46,7 +47,7 @@ pub enum Grouping {
     /// behaviour as the trie; kept as an ablation of the data structure.
     HashMap,
     /// No grouping: all `|X|(|X|−1)/2` pairs are compared for structure
-    /// equality, as in the earlier algorithm of Luccio–Pagli [5]. This is
+    /// equality, as in the earlier algorithm of Luccio–Pagli \[5\]. This is
     /// the baseline of Table 2, and always runs sequentially.
     Quadratic,
 }
@@ -86,6 +87,11 @@ pub struct GenStats {
     /// then still a valid covering candidate set, but minimality claims
     /// become upper bounds).
     pub truncated: bool,
+    /// How generation ended: [`Outcome::Completed`] unless the run-control
+    /// deadline expired or the run was cancelled. Cap-based truncation
+    /// (pseudocube / level-size budgets) still counts as completed — see
+    /// [`GenStats::truncated`] for that.
+    pub outcome: Outcome,
 }
 
 impl std::fmt::Display for GenStats {
@@ -125,12 +131,31 @@ impl std::fmt::Display for GenStats {
             self.total_generated,
             self.comparisons,
             if self.truncated { " (truncated)" } else { "" }
-        )
+        )?;
+        if !self.outcome.is_completed() {
+            write!(f, " [{}]", self.outcome)?;
+        }
+        Ok(())
     }
 }
 
 /// Resource budget for EPPP generation.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`GenLimits::default`] and the `with_*` builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use spp_core::{GenLimits, Parallelism};
+///
+/// let limits = GenLimits::default()
+///     .with_max_pseudocubes(10_000)
+///     .with_parallelism(Parallelism::sequential());
+/// assert_eq!(limits.max_pseudocubes, 10_000);
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct GenLimits {
     /// Stop once this many pseudocubes have been generated in total.
     pub max_pseudocubes: usize,
@@ -158,6 +183,36 @@ impl Default for GenLimits {
     }
 }
 
+impl GenLimits {
+    /// Sets the total-pseudocube budget.
+    #[must_use]
+    pub fn with_max_pseudocubes(mut self, max: usize) -> Self {
+        self.max_pseudocubes = max;
+        self
+    }
+
+    /// Sets the per-level size budget.
+    #[must_use]
+    pub fn with_max_level_size(mut self, max: usize) -> Self {
+        self.max_level_size = max;
+        self
+    }
+
+    /// Sets (or clears) the wall-clock budget.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Option<Duration>) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Sets the worker-thread policy for the union sweep.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
 /// The extended prime pseudoproducts of a function, plus how they were
 /// obtained.
 #[derive(Clone, Debug)]
@@ -174,7 +229,7 @@ pub struct EpppSet {
 
 /// Generates the EPPP set of `f` (ON-set plus don't-cares) by successive
 /// unions of same-structure pseudocubes, starting from single points
-/// (Algorithm 2 steps 1–2 for [`Grouping::PartitionTrie`]; the [5] baseline
+/// (Algorithm 2 steps 1–2 for [`Grouping::PartitionTrie`]; the \[5\] baseline
 /// for [`Grouping::Quadratic`]).
 ///
 /// A pseudocube with `h` literals is discarded when it is combined into a
@@ -187,17 +242,18 @@ pub struct EpppSet {
 ///
 /// ```
 /// use spp_boolfn::BoolFn;
-/// use spp_core::{generate_eppp, GenLimits, Grouping};
+/// use spp_core::Minimizer;
 ///
 /// // x2·(x1 ⊕ x4) — the paper's §3.4 example, renamed to 3 variables.
 /// let f = BoolFn::from_indices(3, &[0b011, 0b110]);
-/// let eppp = generate_eppp(&f, Grouping::PartitionTrie, &GenLimits::default());
+/// let eppp = Minimizer::new(&f).generate();
 /// // Best candidate: the single pseudoproduct with 3 literals.
 /// assert!(eppp.pseudocubes.iter().any(|p| p.literal_count() == 3));
 /// ```
 #[must_use]
+#[deprecated(since = "0.2.0", note = "use `Minimizer::new(f).generate()` instead")]
 pub fn generate_eppp(f: &BoolFn, grouping: Grouping, limits: &GenLimits) -> EpppSet {
-    generate_eppp_where(f, grouping, limits, &|_| true)
+    generate_eppp_session(f, grouping, limits, &|_| true, &RunCtx::default())
 }
 
 /// [`generate_eppp`] restricted to a *conforming* family of pseudoproducts
@@ -214,26 +270,42 @@ pub fn generate_eppp(f: &BoolFn, grouping: Grouping, limits: &GenLimits) -> Eppp
 ///
 /// ```
 /// use spp_boolfn::BoolFn;
-/// use spp_core::{factor_width_at_most, generate_eppp_where, GenLimits, Grouping};
+/// use spp_core::{factor_width_at_most, Minimizer};
 ///
 /// let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
-/// let eppp = generate_eppp_where(
-///     &f,
-///     Grouping::PartitionTrie,
-///     &GenLimits::default(),
-///     &|pc| factor_width_at_most(pc, 2),
-/// );
+/// let eppp = Minimizer::new(&f).generate_where(&|pc| factor_width_at_most(pc, 2));
 /// assert!(eppp.pseudocubes.iter().all(|pc| factor_width_at_most(pc, 2)));
 /// ```
 #[must_use]
+#[deprecated(since = "0.2.0", note = "use `Minimizer::new(f).generate_where(..)` instead")]
 pub fn generate_eppp_where(
     f: &BoolFn,
     grouping: Grouping,
     limits: &GenLimits,
     conforming: &(dyn Fn(&Pseudocube) -> bool + Sync),
 ) -> EpppSet {
+    generate_eppp_session(f, grouping, limits, conforming, &RunCtx::default())
+}
+
+/// The run-control-aware generator behind [`crate::Minimizer::generate`]:
+/// [`generate_eppp_where`] under a [`RunCtx`].
+///
+/// One *counted* checkpoint is consumed per degree level (on the calling
+/// thread, before the level's sweep), so
+/// [`spp_obs::CancelToken::cancel_after_checkpoints`] stops the run at a
+/// thread-count-independent level boundary; worker threads additionally
+/// poll deadline and cancellation sparsely mid-sweep. On any stop the
+/// whole in-flight level is retained, preserving the valid-cover
+/// guarantee, and the cause lands in [`GenStats::outcome`].
+pub(crate) fn generate_eppp_session(
+    f: &BoolFn,
+    grouping: Grouping,
+    limits: &GenLimits,
+    conforming: &(dyn Fn(&Pseudocube) -> bool + Sync),
+    ctx: &RunCtx,
+) -> EpppSet {
     let n = f.num_vars();
-    let deadline = limits.time_limit.map(|d| Instant::now() + d);
+    let ctx = ctx.clone().cap_deadline(limits.time_limit.map(|d| Instant::now() + d));
     let threads = limits.parallelism.threads();
     let mut level: Vec<Pseudocube> = f
         .on_set()
@@ -253,10 +325,15 @@ pub fn generate_eppp_where(
 
     while !level.is_empty() {
         let level_start = Instant::now();
+        // One counted checkpoint per level: the deterministic anchor for
+        // `cancel_after_checkpoints` fuses.
+        if let Some(reason) = ctx.checkpoint() {
+            stats.outcome = stats.outcome.merge(reason);
+        }
         let over_budget = stats.truncated
             || stats.total_generated > limits.max_pseudocubes
             || level.len() > limits.max_level_size
-            || deadline.is_some_and(|d| Instant::now() >= d);
+            || !stats.outcome.is_completed();
         if over_budget {
             // Keep the whole (conforming part of the) level: every
             // pseudocube discarded earlier has a (transitive) retained
@@ -275,16 +352,21 @@ pub fn generate_eppp_where(
             break;
         }
 
+        ctx.emit(Event::GenLevelStarted { degree, size: level.len() });
         // The pair loops can produce far more unions than the level held,
-        // so the budget is enforced inside them (sampling the clock
-        // sparsely).
+        // so the budget is enforced inside them (sampling the clock and the
+        // cancellation flag sparsely).
         let union_cap = limits
             .max_level_size
             .min(limits.max_pseudocubes.saturating_sub(stats.total_generated));
-        let outcome = sweep_level(&level, grouping, threads, union_cap, deadline, conforming);
+        let outcome = sweep_level(&level, grouping, threads, union_cap, &ctx, conforming);
         let mut discarded = outcome.discarded;
         if outcome.truncated {
             stats.truncated = true;
+            // Distinguish a deadline/cancel stop from a cap stop.
+            if let Some(reason) = ctx.stop_reason() {
+                stats.outcome = stats.outcome.merge(reason);
+            }
         }
         // On truncation the discard flags may be based on a partial union
         // sweep; that is fine (discarded items still have a retained
@@ -305,17 +387,28 @@ pub fn generate_eppp_where(
         for (w, unions) in outcome.thread_unions.iter().enumerate() {
             stats.thread_unions[w] += unions;
         }
+        let wall = level_start.elapsed();
         stats.levels.push(LevelStats {
             degree,
             size: level.len(),
             groups: outcome.groups,
             comparisons: outcome.comparisons,
             retained: kept,
-            wall: level_start.elapsed(),
+            wall,
         });
 
+        let swept_size = level.len();
         level = outcome.next;
         stats.total_generated += level.len();
+        ctx.emit(Event::GenLevelFinished {
+            degree,
+            size: swept_size,
+            groups: outcome.groups,
+            unions: level.len(),
+            retained: kept,
+            live: stats.total_generated,
+            wall,
+        });
         degree += 1;
     }
 
@@ -341,18 +434,20 @@ pub(crate) struct SweepOutcome {
 /// Unites all same-structure pairs of `level`, producing the deduplicated
 /// next level, discard flags, and counters. `union_cap` bounds the number
 /// of distinct unions produced (exactly, at any thread count — see the
-/// module docs); `deadline` is sampled sparsely. Shared by the exact
-/// generator and the heuristic's ascendant phase.
+/// module docs); the context's deadline and cancellation flag are sampled
+/// sparsely (every 64 outer iterations, never consuming a counted
+/// checkpoint). Shared by the exact generator and the heuristic's
+/// ascendant phase.
 pub(crate) fn sweep_level(
     level: &[Pseudocube],
     grouping: Grouping,
     threads: usize,
     union_cap: usize,
-    deadline: Option<Instant>,
+    ctx: &RunCtx,
     conforming: &(dyn Fn(&Pseudocube) -> bool + Sync),
 ) -> SweepOutcome {
     if threads <= 1 || matches!(grouping, Grouping::Quadratic) {
-        return sweep_level_sequential(level, grouping, union_cap, deadline, conforming);
+        return sweep_level_sequential(level, grouping, union_cap, ctx, conforming);
     }
 
     let mut comparisons = 0u64;
@@ -402,7 +497,7 @@ pub(crate) fn sweep_level(
                 ops += 1;
                 if stop.load(Ordering::Relaxed)
                     || produced.load(Ordering::Relaxed) > union_cap
-                    || (ops.is_multiple_of(64) && deadline.is_some_and(|d| Instant::now() >= d))
+                    || (ops.is_multiple_of(64) && ctx.stop_reason().is_some())
                 {
                     stop.store(true, Ordering::Relaxed);
                     truncated = true;
@@ -458,7 +553,7 @@ fn sweep_level_sequential(
     level: &[Pseudocube],
     grouping: Grouping,
     union_cap: usize,
-    deadline: Option<Instant>,
+    ctx: &RunCtx,
     conforming: &(dyn Fn(&Pseudocube) -> bool + Sync),
 ) -> SweepOutcome {
     let mut discarded = vec![false; level.len()];
@@ -470,8 +565,7 @@ fn sweep_level_sequential(
     let mut ops = 0u64;
     let over = |next_len: usize, ops: &mut u64| {
         *ops += 1;
-        next_len > union_cap
-            || ((*ops).is_multiple_of(64) && deadline.is_some_and(|d| Instant::now() >= d))
+        next_len > union_cap || ((*ops).is_multiple_of(64) && ctx.stop_reason().is_some())
     };
     let mut unite = |i: usize, j: usize, next: &mut HashSet<Pseudocube>, discarded: &mut [bool]| {
         let u = level[i].union(&level[j]).expect("same-structure distinct pseudocubes unite");
@@ -649,14 +743,17 @@ mod tests {
     use super::*;
     use std::collections::HashSet;
 
+    fn generate(f: &BoolFn, g: Grouping, limits: &GenLimits) -> EpppSet {
+        generate_eppp_session(f, g, limits, &|_| true, &RunCtx::default())
+    }
+
     fn eppp_of(f: &BoolFn, g: Grouping) -> EpppSet {
-        generate_eppp(f, g, &GenLimits::default())
+        generate(f, g, &GenLimits::default())
     }
 
     fn eppp_threads(f: &BoolFn, g: Grouping, threads: usize) -> EpppSet {
-        let limits =
-            GenLimits { parallelism: Parallelism::fixed(threads), ..GenLimits::default() };
-        generate_eppp(f, g, &limits)
+        let limits = GenLimits::default().with_parallelism(Parallelism::fixed(threads));
+        generate(f, g, &limits)
     }
 
     #[test]
@@ -743,9 +840,11 @@ mod tests {
     #[test]
     fn truncation_keeps_a_valid_candidate_set() {
         let f = BoolFn::from_truth_fn(5, |x| x % 3 != 0);
-        let limits = GenLimits { max_pseudocubes: 10, ..GenLimits::default() };
-        let eppp = generate_eppp(&f, Grouping::PartitionTrie, &limits);
+        let limits = GenLimits::default().with_max_pseudocubes(10);
+        let eppp = generate(&f, Grouping::PartitionTrie, &limits);
         assert!(eppp.stats.truncated);
+        // Cap truncation is not a run-control stop.
+        assert_eq!(eppp.stats.outcome, Outcome::Completed);
         for pt in f.on_set() {
             assert!(eppp.pseudocubes.iter().any(|p| p.contains(pt)));
         }
@@ -757,12 +856,10 @@ mod tests {
         // 30 > the 21 degree-0 points, so the budget bites *inside* the
         // parallel union sweep rather than before it.
         for threads in [2usize, 4, 8] {
-            let limits = GenLimits {
-                max_pseudocubes: 30,
-                parallelism: Parallelism::fixed(threads),
-                ..GenLimits::default()
-            };
-            let eppp = generate_eppp(&f, Grouping::PartitionTrie, &limits);
+            let limits = GenLimits::default()
+                .with_max_pseudocubes(30)
+                .with_parallelism(Parallelism::fixed(threads));
+            let eppp = generate(&f, Grouping::PartitionTrie, &limits);
             assert!(eppp.stats.truncated, "threads = {threads}");
             for pt in f.on_set() {
                 assert!(
@@ -771,14 +868,14 @@ mod tests {
                 );
             }
         }
-        // A zero deadline truncates before any sweep; coverage still holds.
-        let limits = GenLimits {
-            time_limit: Some(Duration::ZERO),
-            parallelism: Parallelism::fixed(4),
-            ..GenLimits::default()
-        };
-        let eppp = generate_eppp(&f, Grouping::PartitionTrie, &limits);
+        // A zero deadline truncates before any sweep; coverage still holds
+        // and the stop cause is recorded.
+        let limits = GenLimits::default()
+            .with_time_limit(Some(Duration::ZERO))
+            .with_parallelism(Parallelism::fixed(4));
+        let eppp = generate(&f, Grouping::PartitionTrie, &limits);
         assert!(eppp.stats.truncated);
+        assert_eq!(eppp.stats.outcome, Outcome::DeadlineExceeded);
         for pt in f.on_set() {
             assert!(eppp.pseudocubes.iter().any(|p| p.contains(pt)));
         }
@@ -867,6 +964,81 @@ mod tests {
         }
         let expected: u64 = groups.iter().map(|g| pairs(g.len())).sum();
         assert_eq!(covered.len() as u64, expected);
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_generate() {
+        #![allow(deprecated)]
+        let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+        let eppp = generate_eppp(&f, Grouping::PartitionTrie, &GenLimits::default());
+        assert!(eppp.pseudocubes.iter().any(|p| p.literal_count() == 3));
+        let wide = generate_eppp_where(&f, Grouping::PartitionTrie, &GenLimits::default(), &|_| {
+            true
+        });
+        assert_eq!(wide.pseudocubes, eppp.pseudocubes);
+    }
+
+    #[test]
+    fn counted_cancellation_stops_at_the_same_level_at_any_thread_count() {
+        use spp_obs::CancelToken;
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 != 0);
+        let baseline: Vec<EpppSet> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                let ctx = RunCtx::new().with_cancel(CancelToken::cancel_after_checkpoints(2));
+                let limits = GenLimits::default().with_parallelism(Parallelism::fixed(threads));
+                generate_eppp_session(&f, Grouping::PartitionTrie, &limits, &|_| true, &ctx)
+            })
+            .collect();
+        for eppp in &baseline {
+            assert!(eppp.stats.truncated);
+            assert_eq!(eppp.stats.outcome, Outcome::Cancelled);
+            // The fuse trips at the 3rd counted checkpoint = degree-2 loop
+            // top, so exactly levels 0 and 1 were swept.
+            assert_eq!(eppp.stats.levels.len(), 3);
+            for pt in f.on_set() {
+                assert!(eppp.pseudocubes.iter().any(|p| p.contains(pt)));
+            }
+        }
+        // Identical best-so-far candidate set at any thread count.
+        assert_eq!(baseline[0].pseudocubes, baseline[1].pseudocubes);
+        assert_eq!(baseline[0].pseudocubes, baseline[2].pseudocubes);
+    }
+
+    #[test]
+    fn generation_emits_level_events() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Spy {
+            started: AtomicUsize,
+            finished: AtomicUsize,
+        }
+        impl spp_obs::EventSink for Spy {
+            fn emit(&self, event: &Event) {
+                match event {
+                    Event::GenLevelStarted { .. } => self.started.fetch_add(1, Ordering::Relaxed),
+                    Event::GenLevelFinished { .. } => self.finished.fetch_add(1, Ordering::Relaxed),
+                    _ => 0,
+                };
+            }
+        }
+
+        let spy = Arc::new(Spy::default());
+        let ctx = RunCtx::new().with_sink(spy.clone());
+        let f = BoolFn::from_indices(4, &[0, 3, 5, 6, 9, 10, 12, 15]);
+        let eppp = generate_eppp_session(
+            &f,
+            Grouping::PartitionTrie,
+            &GenLimits::default(),
+            &|_| true,
+            &ctx,
+        );
+        // Every fully swept level reports start and finish.
+        let swept = eppp.stats.levels.len();
+        assert_eq!(spy.started.load(Ordering::Relaxed), swept);
+        assert_eq!(spy.finished.load(Ordering::Relaxed), swept);
     }
 
     #[test]

@@ -3,11 +3,13 @@
 use std::collections::HashSet;
 
 use spp_boolfn::BoolFn;
+use spp_obs::{Event, Outcome, Phase, RunCtx};
 
 use crate::generate::{sweep_level, SweepOutcome};
 use crate::minimize::cover_with_candidates;
 use crate::{
-    sub_pseudocubes, GenStats, Grouping, LevelStats, Pseudocube, SppMinResult, SppOptions,
+    sub_pseudocubes, GenStats, Grouping, LevelStats, Pseudocube, SppError, SppMinResult,
+    SppOptions,
 };
 
 /// Minimizes `f` with the paper's **Algorithm 3**, producing the `SPP_k`
@@ -31,12 +33,12 @@ use crate::{
 ///
 /// ```
 /// use spp_boolfn::BoolFn;
-/// use spp_core::{minimize_spp_heuristic, SppOptions};
+/// use spp_core::Minimizer;
 ///
 /// // The §3.4 example: from primes x1x2x̄4 and x̄1x2x4 the ascendant phase
 /// // already finds x2·(x1⊕x4) at k = 0.
 /// let f = BoolFn::from_indices(3, &[0b011, 0b110]);
-/// let r = minimize_spp_heuristic(&f, 0, &SppOptions::default());
+/// let r = Minimizer::new(&f).run_heuristic(0).unwrap();
 /// assert_eq!(r.literal_count(), 3);
 /// ```
 ///
@@ -44,9 +46,9 @@ use crate::{
 ///
 /// Panics if `k >= f.num_vars()` (the paper requires `0 ≤ k < n`).
 #[must_use]
+#[deprecated(since = "0.2.0", note = "use `Minimizer::new(f).run_heuristic(k)` instead")]
 pub fn minimize_spp_heuristic(f: &BoolFn, k: usize, options: &SppOptions) -> SppMinResult {
-    let primes = spp_sp::prime_implicants(f);
-    minimize_spp_heuristic_from_cover(f, &primes, k, options)
+    heuristic_session(f, k, options, &RunCtx::default()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`minimize_spp_heuristic`] seeded by an arbitrary cube cover of `f`
@@ -64,42 +66,84 @@ pub fn minimize_spp_heuristic(f: &BoolFn, k: usize, options: &SppOptions) -> Spp
 ///
 /// ```
 /// use spp_boolfn::BoolFn;
-/// use spp_core::{minimize_spp_heuristic_from_cover, SppOptions};
+/// use spp_core::Minimizer;
 /// use spp_sp::minimize_sp_heuristic;
 ///
 /// let f = BoolFn::from_indices(3, &[0b011, 0b110]);
 /// let seed = minimize_sp_heuristic(&f);
-/// let r = minimize_spp_heuristic_from_cover(
-///     &f, seed.form.cubes(), 0, &SppOptions::default());
+/// let r = Minimizer::new(&f)
+///     .run_heuristic_from_cover(seed.form.cubes(), 0)
+///     .unwrap();
 /// assert_eq!(r.literal_count(), 3); // x2·(x1⊕x4) found from the seed too
 /// ```
 #[must_use]
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Minimizer::new(f).run_heuristic_from_cover(cover, k)` instead"
+)]
 pub fn minimize_spp_heuristic_from_cover(
     f: &BoolFn,
     cover: &[spp_boolfn::Cube],
     k: usize,
     options: &SppOptions,
 ) -> SppMinResult {
+    heuristic_from_cover_session(f, cover, k, options, &RunCtx::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The run-control-aware heuristic behind
+/// [`crate::Minimizer::run_heuristic`]: seeds with the SP prime
+/// implicants, then defers to [`heuristic_from_cover_session`].
+pub(crate) fn heuristic_session(
+    f: &BoolFn,
+    k: usize,
+    options: &SppOptions,
+    ctx: &RunCtx,
+) -> Result<SppMinResult, SppError> {
+    let primes = spp_sp::prime_implicants(f);
+    heuristic_from_cover_session(f, &primes, k, options, ctx)
+}
+
+/// The run-control-aware general heuristic behind
+/// [`crate::Minimizer::run_heuristic_from_cover`].
+///
+/// One *counted* checkpoint is consumed per descendant step and per
+/// non-empty ascendant level (always on the calling thread), so
+/// [`spp_obs::CancelToken::cancel_after_checkpoints`] trips at a
+/// thread-count-independent point; sweeps additionally poll deadline and
+/// cancellation sparsely. A stopped run keeps every level untouched from
+/// the stopping point up, which preserves the seed cover inside the
+/// candidate pool — the result always realizes `f`.
+pub(crate) fn heuristic_from_cover_session(
+    f: &BoolFn,
+    cover: &[spp_boolfn::Cube],
+    k: usize,
+    options: &SppOptions,
+    ctx: &RunCtx,
+) -> Result<SppMinResult, SppError> {
     let n = f.num_vars();
-    assert!(k < n.max(1), "heuristic parameter k={k} must satisfy 0 <= k < n");
+    if k >= n.max(1) {
+        return Err(SppError::HeuristicK { k, n });
+    }
     let phase_start = std::time::Instant::now();
-    let deadline = options.gen_limits.time_limit.map(|d| phase_start + d);
-    let past_deadline = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
+    let ctx = ctx
+        .clone()
+        .cap_deadline(options.gen_limits.time_limit.map(|d| phase_start + d));
 
     // The seed must be a cover of implicants, or the result could not
     // realize f.
     for point in f.on_set() {
-        assert!(
-            cover.iter().any(|c| c.contains_point(point)),
-            "seed cubes must cover the ON-set"
-        );
+        if !cover.iter().any(|c| c.contains_point(point)) {
+            return Err(SppError::SeedNotACover { point: point.to_string() });
+        }
     }
     for cube in cover {
-        assert!(
-            cube.points().all(|p| f.is_coverable(&p)),
-            "seed cube {cube} is not an implicant"
-        );
+        if !cube.points().all(|p| f.is_coverable(&p)) {
+            return Err(SppError::SeedNotImplicant { cube: cube.to_string() });
+        }
     }
+
+    ctx.emit(Event::PhaseStarted { phase: Phase::Generate });
 
     // Phase 1: one level per degree, seeded with the input cover.
     let mut levels: Vec<HashSet<Pseudocube>> = vec![HashSet::new(); n + 1];
@@ -112,12 +156,21 @@ pub fn minimize_spp_heuristic_from_cover(
     // Phase 2: descendant — step i walks degree n−i and inserts all
     // sub-pseudocubes one degree down, so later steps see them too.
     let mut truncated = false;
+    let mut outcome = Outcome::Completed;
     let mut generated: usize = levels.iter().map(HashSet::len).sum();
     'descent: for i in 1..=k {
+        // One counted checkpoint per descent step: the deterministic
+        // anchor for `cancel_after_checkpoints` fuses.
+        if let Some(reason) = ctx.checkpoint() {
+            outcome = outcome.merge(reason);
+            truncated = true;
+            break 'descent;
+        }
         let d = n - i; // step i walks degree n−i, inserting one degree down
         let snapshot: Vec<Pseudocube> = sorted(&levels[d]);
         for r in snapshot {
-            if past_deadline() {
+            if let Some(reason) = ctx.stop_reason() {
+                outcome = outcome.merge(reason);
                 truncated = true;
                 break 'descent;
             }
@@ -144,8 +197,15 @@ pub fn minimize_spp_heuristic_from_cover(
         if level.is_empty() {
             continue;
         }
+        // One counted checkpoint per non-empty ascendant level.
+        if let Some(reason) = ctx.checkpoint() {
+            outcome = outcome.merge(reason);
+            truncated = true;
+        }
         let level_start = std::time::Instant::now();
-        let outcome = if generated > options.gen_limits.max_pseudocubes || past_deadline() {
+        let over_budget =
+            generated > options.gen_limits.max_pseudocubes || !outcome.is_completed();
+        let outcome_sweep = if over_budget {
             // Budget exhausted before this level: keep it untouched.
             truncated = true;
             SweepOutcome {
@@ -157,6 +217,7 @@ pub fn minimize_spp_heuristic_from_cover(
                 thread_unions: vec![0],
             }
         } else {
+            ctx.emit(Event::GenLevelStarted { degree: d, size: level.len() });
             // The union sweep can dwarf the level size; cap the distinct
             // unions it may produce by the remaining generation budget.
             sweep_level(
@@ -164,14 +225,18 @@ pub fn minimize_spp_heuristic_from_cover(
                 Grouping::PartitionTrie,
                 threads,
                 options.gen_limits.max_pseudocubes.saturating_sub(generated),
-                deadline,
+                &ctx,
                 &|_| true,
             )
         };
-        if outcome.truncated {
+        if outcome_sweep.truncated {
             truncated = true;
+            if let Some(reason) = ctx.stop_reason() {
+                outcome = outcome.merge(reason);
+            }
         }
-        for u in outcome.next {
+        let unions = outcome_sweep.next.len();
+        for u in outcome_sweep.next {
             if levels[d + 1].insert(u) {
                 generated += 1;
             }
@@ -180,23 +245,35 @@ pub fn minimize_spp_heuristic_from_cover(
             truncated = true;
         }
         let mut kept = 0usize;
-        for (pc, dropped) in level.iter().zip(&outcome.discarded) {
+        for (pc, dropped) in level.iter().zip(&outcome_sweep.discarded) {
             if !dropped {
                 retained.push(pc.clone());
                 kept += 1;
             }
         }
+        let wall = level_start.elapsed();
         stats.levels.push(LevelStats {
             degree: d,
             size: level.len(),
-            groups: outcome.groups,
-            comparisons: outcome.comparisons,
+            groups: outcome_sweep.groups,
+            comparisons: outcome_sweep.comparisons,
             retained: kept,
-            wall: level_start.elapsed(),
+            wall,
         });
-        stats.comparisons += outcome.comparisons;
-        for (w, unions) in outcome.thread_unions.iter().enumerate() {
+        stats.comparisons += outcome_sweep.comparisons;
+        for (w, unions) in outcome_sweep.thread_unions.iter().enumerate() {
             stats.thread_unions[w] += unions;
+        }
+        if !over_budget {
+            ctx.emit(Event::GenLevelFinished {
+                degree: d,
+                size: level.len(),
+                groups: outcome_sweep.groups,
+                unions,
+                retained: kept,
+                live: generated,
+                wall,
+            });
         }
         if truncated {
             break;
@@ -208,20 +285,36 @@ pub fn minimize_spp_heuristic_from_cover(
     }
     stats.total_generated = generated;
     stats.truncated = truncated;
+    stats.outcome = outcome;
 
     // Phase 4: minimum-literal covering.
     let gen_elapsed = phase_start.elapsed();
+    ctx.emit(Event::PhaseFinished { phase: Phase::Generate, wall: gen_elapsed, outcome });
     let cover_start = std::time::Instant::now();
-    let (form, cover_optimal) =
-        cover_with_candidates(f, &retained, &options.cover_limits, options.gen_limits.parallelism);
-    SppMinResult {
+    ctx.emit(Event::PhaseStarted { phase: Phase::Cover });
+    let (form, cover_optimal, cover_outcome) = cover_with_candidates(
+        f,
+        &retained,
+        &options.cover_limits,
+        options.gen_limits.parallelism,
+        &ctx,
+    );
+    outcome = outcome.merge(cover_outcome);
+    let cover_elapsed = cover_start.elapsed();
+    ctx.emit(Event::PhaseFinished {
+        phase: Phase::Cover,
+        wall: cover_elapsed,
+        outcome: cover_outcome,
+    });
+    Ok(SppMinResult {
         form,
         num_candidates: retained.len(),
-        optimal: cover_optimal && !truncated && k + 1 >= n,
+        optimal: cover_optimal && !truncated && k + 1 >= n && outcome.is_completed(),
         gen_stats: stats,
         gen_elapsed,
-        cover_elapsed: cover_start.elapsed(),
-    }
+        cover_elapsed,
+        outcome,
+    })
 }
 
 fn sorted(set: &HashSet<Pseudocube>) -> Vec<Pseudocube> {
@@ -233,10 +326,11 @@ fn sorted(set: &HashSet<Pseudocube>) -> Vec<Pseudocube> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{minimize_spp_exact, SppOptions};
+    use crate::minimize::exact_session;
+    use crate::SppOptions;
 
     fn heuristic(f: &BoolFn, k: usize) -> SppMinResult {
-        minimize_spp_heuristic(f, k, &SppOptions::default())
+        heuristic_session(f, k, &SppOptions::default(), &RunCtx::default()).unwrap()
     }
 
     #[test]
@@ -245,6 +339,7 @@ mod tests {
         let r = heuristic(&f, 0);
         assert_eq!(r.literal_count(), 3);
         assert!(r.form.check_realizes(&f).is_ok());
+        assert_eq!(r.outcome, Outcome::Completed);
     }
 
     #[test]
@@ -258,7 +353,7 @@ mod tests {
             if f.is_zero() {
                 continue;
             }
-            let exact = minimize_spp_exact(&f, &SppOptions::default());
+            let exact = exact_session(&f, &SppOptions::default(), &RunCtx::default());
             let mut prev = u64::MAX;
             for k in 0..n {
                 let r = heuristic(&f, k);
@@ -297,8 +392,54 @@ mod tests {
     #[test]
     #[should_panic(expected = "must satisfy")]
     fn k_out_of_range_panics() {
+        #![allow(deprecated)]
         let f = BoolFn::from_indices(3, &[1]);
-        let _ = heuristic(&f, 3);
+        let _ = minimize_spp_heuristic(&f, 3, &SppOptions::default());
+    }
+
+    #[test]
+    fn k_out_of_range_is_an_error() {
+        let f = BoolFn::from_indices(3, &[1]);
+        let err =
+            heuristic_session(&f, 3, &SppOptions::default(), &RunCtx::default()).unwrap_err();
+        assert_eq!(err, SppError::HeuristicK { k: 3, n: 3 });
+    }
+
+    #[test]
+    fn bad_seeds_are_errors() {
+        let f = BoolFn::from_indices(2, &[0b00, 0b11]);
+        // Misses point 11.
+        let partial = vec!["00".parse::<spp_boolfn::Cube>().unwrap()];
+        let err = heuristic_from_cover_session(
+            &f,
+            &partial,
+            0,
+            &SppOptions::default(),
+            &RunCtx::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SppError::SeedNotACover { .. }), "{err:?}");
+        // Covers the OFF point 01.
+        let sloppy = vec!["--".parse::<spp_boolfn::Cube>().unwrap()];
+        let err = heuristic_from_cover_session(
+            &f,
+            &sloppy,
+            0,
+            &SppOptions::default(),
+            &RunCtx::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SppError::SeedNotImplicant { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn expired_deadline_still_realizes_f() {
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 != 0);
+        let ctx = RunCtx::new().with_deadline_in(std::time::Duration::ZERO);
+        let r = heuristic_session(&f, 2, &SppOptions::default(), &ctx).unwrap();
+        assert_eq!(r.outcome, Outcome::DeadlineExceeded);
+        assert!(!r.optimal);
+        assert!(r.form.check_realizes(&f).is_ok());
     }
 
     #[test]

@@ -15,28 +15,49 @@
 //!   Algorithm 1) forms;
 //! - [`PartitionTrie`]: the paper's data structure grouping expressions by
 //!   structure (§3.2);
-//! - [`generate_eppp`]: construction of the extended prime pseudoproduct
-//!   set (Definition 3) by structure-grouped unions — Algorithm 2 steps
-//!   1–2 — with the quadratic algorithm of Luccio–Pagli [5] as a selectable
-//!   baseline;
-//! - [`minimize_spp_exact`]: Algorithm 2 end to end (generation +
+//! - [`Minimizer::generate`]: construction of the extended prime
+//!   pseudoproduct set (Definition 3) by structure-grouped unions —
+//!   Algorithm 2 steps 1–2 — with the quadratic algorithm of Luccio–Pagli
+//!   \[5\] as a selectable baseline;
+//! - [`Minimizer::run_exact`]: Algorithm 2 end to end (generation +
 //!   minimum-literal covering);
-//! - [`minimize_spp_heuristic`]: Algorithm 3, the incremental `SPP_k`
+//! - [`Minimizer::run_heuristic`]: Algorithm 3, the incremental `SPP_k`
 //!   heuristic seeded by SP prime implicants with descendant/ascendant
 //!   phases over [`sub_pseudocubes`] (Theorem 2);
 //! - [`verify_cover`]: independent correctness checking of any produced
 //!   form.
 //!
+//! Every entry point is a [`Minimizer`] (or [`MultiMinimizer`]) session,
+//! which also carries the run control: a deadline, a cooperative
+//! [`spp_obs::CancelToken`] and a progress [`spp_obs::EventSink`]. On
+//! deadline or cancellation the pipeline unwinds to a valid best-so-far
+//! form and records the cause as an [`Outcome`].
+//!
 //! # Examples
 //!
 //! ```
 //! use spp_boolfn::BoolFn;
-//! use spp_core::{minimize_spp_exact, SppOptions};
+//! use spp_core::Minimizer;
 //!
 //! // The paper's motivating effect: parity-like functions collapse.
 //! let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
-//! let result = minimize_spp_exact(&f, &SppOptions::default());
+//! let result = Minimizer::new(&f).run_exact();
 //! assert_eq!(result.form.to_string(), "(x0⊕x1⊕x2⊕x3)");
+//! assert!(result.form.check_realizes(&f).is_ok());
+//! ```
+//!
+//! With a deadline and progress events:
+//!
+//! ```
+//! use std::time::Duration;
+//! use spp_boolfn::BoolFn;
+//! use spp_core::Minimizer;
+//!
+//! let f = BoolFn::from_truth_fn(4, |x| x % 3 == 1);
+//! let result = Minimizer::new(&f)
+//!     .deadline(Duration::from_millis(200))
+//!     .run_exact();
+//! // Deadline or not, the form is always a valid cover.
 //! assert!(result.form.check_realizes(&f).is_ok());
 //! ```
 
@@ -44,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod cex;
+mod error;
 mod form;
 mod generate;
 mod heuristic;
@@ -51,21 +73,32 @@ mod minimize;
 mod multi;
 mod pseudocube;
 mod restricted;
+mod session;
 mod structure;
 mod subpseudo;
 mod trie;
 mod verify;
 
 pub use cex::{Cex, EmptyPseudoproductError, ExorFactor};
+pub use error::{parse_pla, SppError};
 pub use form::SppForm;
+#[allow(deprecated)]
 pub use generate::{
     generate_eppp, generate_eppp_where, EpppSet, GenLimits, GenStats, Grouping, LevelStats,
 };
+#[allow(deprecated)]
 pub use heuristic::{minimize_spp_heuristic, minimize_spp_heuristic_from_cover};
+#[allow(deprecated)]
 pub use minimize::{minimize_spp_exact, SppMinResult, SppOptions};
+#[allow(deprecated)]
 pub use multi::{minimize_spp_multi, MultiSppResult};
 pub use pseudocube::Pseudocube;
+pub use session::{Minimizer, MultiMinimizer};
+pub use spp_obs::{
+    CancelToken, Event, EventSink, JsonLinesSink, NullSink, Outcome, Phase, RunCtx, StderrSink,
+};
 pub use spp_par::Parallelism;
+#[allow(deprecated)]
 pub use restricted::{
     factor_width_at_most, minimize_2spp, minimize_spp_restricted, restricted_default_grouping,
     restricted_default_limits,

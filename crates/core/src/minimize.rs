@@ -1,12 +1,28 @@
 //! End-to-end exact SPP minimization (Algorithm 2).
 
 use spp_boolfn::BoolFn;
-use spp_cover::{solve_auto, CoverProblem};
+use spp_cover::{solve_auto_ctx, CoverProblem};
+use spp_obs::{Event, Outcome, Phase, RunCtx};
 
-use crate::{generate_eppp, GenLimits, GenStats, Grouping, Pseudocube, SppForm};
+use crate::generate::generate_eppp_session;
+use crate::{GenLimits, GenStats, Grouping, Pseudocube, SppForm};
 
 /// Configuration of the SPP minimizers.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`SppOptions::default`] and the `with_*` builder methods (or configure
+/// a [`crate::Minimizer`] directly, which owns one of these).
+///
+/// # Examples
+///
+/// ```
+/// use spp_core::{Grouping, SppOptions};
+///
+/// let options = SppOptions::default().with_grouping(Grouping::HashMap);
+/// assert_eq!(options.grouping, Grouping::HashMap);
+/// ```
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct SppOptions {
     /// Structure-grouping strategy for pseudocube generation.
     pub grouping: Grouping,
@@ -14,6 +30,29 @@ pub struct SppOptions {
     pub gen_limits: GenLimits,
     /// Budget of the set-covering phase.
     pub cover_limits: spp_cover::Limits,
+}
+
+impl SppOptions {
+    /// Sets the structure-grouping strategy.
+    #[must_use]
+    pub fn with_grouping(mut self, grouping: Grouping) -> Self {
+        self.grouping = grouping;
+        self
+    }
+
+    /// Sets the generation budget.
+    #[must_use]
+    pub fn with_gen_limits(mut self, limits: GenLimits) -> Self {
+        self.gen_limits = limits;
+        self
+    }
+
+    /// Sets the covering budget.
+    #[must_use]
+    pub fn with_cover_limits(mut self, limits: spp_cover::Limits) -> Self {
+        self.cover_limits = limits;
+        self
+    }
 }
 
 /// The outcome of an SPP minimization run.
@@ -34,6 +73,10 @@ pub struct SppMinResult {
     pub gen_elapsed: std::time::Duration,
     /// Wall-clock time of the set-covering phase.
     pub cover_elapsed: std::time::Duration,
+    /// How the run ended: [`Outcome::Completed`], or the phase-merged
+    /// deadline/cancellation cause. Any non-completed outcome implies the
+    /// form is a valid best-so-far upper bound (`optimal` is then false).
+    pub outcome: Outcome,
 }
 
 impl SppMinResult {
@@ -53,19 +96,30 @@ impl SppMinResult {
 ///
 /// ```
 /// use spp_boolfn::BoolFn;
-/// use spp_core::{minimize_spp_exact, SppOptions};
+/// use spp_core::Minimizer;
 ///
 /// // Odd parity on 3 variables: SP needs 4 minterms (12 literals),
 /// // SPP needs the single factor (x0⊕x1⊕x2).
 /// let f = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
-/// let r = minimize_spp_exact(&f, &SppOptions::default());
+/// let r = Minimizer::new(&f).run_exact();
 /// assert_eq!(r.literal_count(), 3);
 /// assert!(r.form.check_realizes(&f).is_ok());
 /// ```
 #[must_use]
+#[deprecated(since = "0.2.0", note = "use `Minimizer::new(f).run_exact()` instead")]
 pub fn minimize_spp_exact(f: &BoolFn, options: &SppOptions) -> SppMinResult {
+    exact_session(f, options, &RunCtx::default())
+}
+
+/// The run-control-aware exact minimizer behind
+/// [`crate::Minimizer::run_exact`]. Emits phase events, merges the
+/// generation and covering outcomes and always returns a valid (possibly
+/// best-so-far) form.
+pub(crate) fn exact_session(f: &BoolFn, options: &SppOptions, ctx: &RunCtx) -> SppMinResult {
     let gen_start = std::time::Instant::now();
-    let eppp = generate_eppp(f, options.grouping, &options.gen_limits);
+    ctx.emit(Event::PhaseStarted { phase: Phase::Generate });
+    let eppp = generate_eppp_session(f, options.grouping, &options.gen_limits, &|_| true, ctx);
+    let mut outcome = eppp.stats.outcome;
     let mut candidates = eppp.pseudocubes;
     if eppp.stats.truncated {
         // A truncated run may have lost the high-degree pseudoproducts the
@@ -82,13 +136,21 @@ pub fn minimize_spp_exact(f: &BoolFn, options: &SppOptions) -> SppMinResult {
         candidates.extend(extra);
     }
     let gen_elapsed = gen_start.elapsed();
+    ctx.emit(Event::PhaseFinished {
+        phase: Phase::Generate,
+        wall: gen_elapsed,
+        outcome: eppp.stats.outcome,
+    });
     let cover_start = std::time::Instant::now();
-    let (mut form, cover_optimal) = cover_with_candidates(
+    ctx.emit(Event::PhaseStarted { phase: Phase::Cover });
+    let (mut form, cover_optimal, cover_outcome) = cover_with_candidates(
         f,
         &candidates,
         &options.cover_limits,
         options.gen_limits.parallelism,
+        ctx,
     );
+    outcome = outcome.merge(cover_outcome);
     if eppp.stats.truncated {
         // Junk-heavy truncated pools can mislead the greedy cover; the SP
         // minimum is always a valid SPP form, so never return worse.
@@ -100,13 +162,20 @@ pub fn minimize_spp_exact(f: &BoolFn, options: &SppOptions) -> SppMinResult {
             );
         }
     }
+    let cover_elapsed = cover_start.elapsed();
+    ctx.emit(Event::PhaseFinished {
+        phase: Phase::Cover,
+        wall: cover_elapsed,
+        outcome: cover_outcome,
+    });
     SppMinResult {
         form,
         num_candidates: candidates.len(),
-        optimal: cover_optimal && !eppp.stats.truncated,
+        optimal: cover_optimal && !eppp.stats.truncated && outcome.is_completed(),
         gen_stats: eppp.stats,
         gen_elapsed,
-        cover_elapsed: cover_start.elapsed(),
+        cover_elapsed,
+        outcome,
     }
 }
 
@@ -118,7 +187,8 @@ pub(crate) fn cover_with_candidates(
     candidates: &[Pseudocube],
     limits: &spp_cover::Limits,
     parallelism: spp_par::Parallelism,
-) -> (SppForm, bool) {
+    ctx: &RunCtx,
+) -> (SppForm, bool, Outcome) {
     let on = f.on_set();
     let mut problem = CoverProblem::new(on.len());
     // The full-space pseudocube (tautology) has 0 literals; clamp so
@@ -127,10 +197,10 @@ pub(crate) fn cover_with_candidates(
         let pc = &candidates[c];
         (rows_covered(on, pc), pc.literal_count().max(1))
     });
-    let solution = solve_auto(&problem, limits);
+    let (solution, outcome) = solve_auto_ctx(&problem, limits, ctx);
     let terms: Vec<Pseudocube> =
         solution.columns.iter().map(|&c| candidates[c].clone()).collect();
-    (SppForm::new(f.num_vars(), terms), solution.optimal)
+    (SppForm::new(f.num_vars(), terms), solution.optimal, outcome)
 }
 
 /// The ON-set row indices covered by `pc`, computed by whichever side is
@@ -157,7 +227,7 @@ mod tests {
     use spp_sp::minimize_sp;
 
     fn exact(f: &BoolFn) -> SppMinResult {
-        minimize_spp_exact(f, &SppOptions::default())
+        exact_session(f, &SppOptions::default(), &RunCtx::default())
     }
 
     #[test]
@@ -239,12 +309,38 @@ mod tests {
     #[test]
     fn truncated_generation_reports_non_optimal() {
         let f = BoolFn::from_truth_fn(5, |x| x % 3 == 1);
-        let options = SppOptions {
-            gen_limits: GenLimits { max_pseudocubes: 8, ..GenLimits::default() },
-            ..SppOptions::default()
-        };
-        let r = minimize_spp_exact(&f, &options);
+        let options = SppOptions::default()
+            .with_gen_limits(GenLimits::default().with_max_pseudocubes(8));
+        let r = exact_session(&f, &options, &RunCtx::default());
+        assert!(!r.optimal);
+        // Cap truncation is still a completed run.
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+
+    #[test]
+    fn completed_runs_report_completed_outcome() {
+        let f = BoolFn::from_indices(3, &[0b011, 0b110]);
+        let r = exact(&f);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.optimal);
+    }
+
+    #[test]
+    fn expired_deadline_still_yields_a_valid_form() {
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 == 1);
+        let ctx = RunCtx::new().with_deadline_in(std::time::Duration::ZERO);
+        let r = exact_session(&f, &SppOptions::default(), &ctx);
+        assert_eq!(r.outcome, Outcome::DeadlineExceeded);
         assert!(!r.optimal);
         assert!(r.form.check_realizes(&f).is_ok());
+    }
+
+    #[test]
+    fn deprecated_exact_wrapper_still_minimizes() {
+        #![allow(deprecated)]
+        let f = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
+        let r = minimize_spp_exact(&f, &SppOptions::default());
+        assert_eq!(r.literal_count(), 3);
     }
 }

@@ -7,12 +7,14 @@
 //! outputs reuse it — the sharing that PLA-style implementations exploit.
 
 use spp_boolfn::BoolFn;
-use spp_cover::{solve_auto, CoverProblem};
+use spp_cover::{solve_auto_ctx, CoverProblem};
+use spp_obs::{Event, Outcome, Phase, RunCtx};
 use spp_par::{par_map_indices, Parallelism};
 
-use crate::{generate_eppp, EpppSet, GenLimits, Pseudocube, SppForm, SppOptions};
+use crate::generate::generate_eppp_session;
+use crate::{EpppSet, Pseudocube, SppError, SppForm, SppOptions};
 
-/// The outcome of [`minimize_spp_multi`].
+/// The outcome of [`crate::MultiMinimizer::run`].
 #[derive(Clone, Debug)]
 pub struct MultiSppResult {
     /// One SPP form per output, in input order. Terms are shared: the
@@ -26,6 +28,10 @@ pub struct MultiSppResult {
     /// Whether the covering step proved optimality over the generated
     /// candidates.
     pub optimal: bool,
+    /// How the run ended: [`Outcome::Completed`], or the worst
+    /// deadline/cancellation cause across the per-output generations and
+    /// the shared covering step.
+    pub outcome: Outcome,
 }
 
 impl MultiSppResult {
@@ -52,23 +58,45 @@ impl MultiSppResult {
 ///
 /// ```
 /// use spp_boolfn::BoolFn;
-/// use spp_core::{minimize_spp_multi, SppOptions};
+/// use spp_core::MultiMinimizer;
 ///
 /// // Two outputs that can share the parity term (x0 ⊕ x1).
 /// let f0 = BoolFn::from_truth_fn(3, |x| (x ^ (x >> 1)) & 1 == 1);
 /// let f1 = BoolFn::from_truth_fn(3, |x| (x ^ (x >> 1)) & 1 == 1 && x & 0b100 != 0);
-/// let r = minimize_spp_multi(&[f0.clone(), f1.clone()], &SppOptions::default());
+/// let r = MultiMinimizer::new(&[f0.clone(), f1.clone()]).run().unwrap();
 /// assert!(r.forms[0].check_realizes(&f0).is_ok());
 /// assert!(r.forms[1].check_realizes(&f1).is_ok());
 /// assert!(r.shared_literal_count <= r.separate_literal_count());
 /// ```
 #[must_use]
+#[deprecated(since = "0.2.0", note = "use `MultiMinimizer::new(outputs).run()` instead")]
 pub fn minimize_spp_multi(outputs: &[BoolFn], options: &SppOptions) -> MultiSppResult {
-    let n = outputs.first().expect("at least one output").num_vars();
-    assert!(
-        outputs.iter().all(|f| f.num_vars() == n),
-        "all outputs must share the input variables"
-    );
+    multi_session(outputs, options, &RunCtx::default()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The run-control-aware multi-output minimizer behind
+/// [`crate::MultiMinimizer::run`].
+///
+/// The per-output generations run on fan-out workers, so counted
+/// checkpoints are *not* thread-count-deterministic here (the workers race
+/// for the fuse); deadline and plain cancellation behave as everywhere
+/// else, and the shared covering step polls the context on the calling
+/// thread.
+pub(crate) fn multi_session(
+    outputs: &[BoolFn],
+    options: &SppOptions,
+    ctx: &RunCtx,
+) -> Result<MultiSppResult, SppError> {
+    let n = match outputs.first() {
+        Some(f) => f.num_vars(),
+        None => return Err(SppError::NoOutputs),
+    };
+    if let Some(other) = outputs.iter().find(|f| f.num_vars() != n) {
+        return Err(SppError::MixedVariableCounts { expected: n, found: other.num_vars() });
+    }
+
+    let gen_start = std::time::Instant::now();
+    ctx.emit(Event::PhaseStarted { phase: Phase::Generate });
 
     // Candidate pool: the union of the per-output EPPP sets. Outputs are
     // independent, so generation fans out across them; leftover workers go
@@ -76,24 +104,31 @@ pub fn minimize_spp_multi(outputs: &[BoolFn], options: &SppOptions) -> MultiSppR
     // so the candidate list is identical at any thread count.
     let threads = options.gen_limits.parallelism.threads();
     let outer = threads.min(outputs.len()).max(1);
-    let inner_limits = GenLimits {
-        parallelism: Parallelism::fixed((threads / outer).max(1)),
-        ..options.gen_limits.clone()
-    };
+    let inner_limits = options
+        .gen_limits
+        .clone()
+        .with_parallelism(Parallelism::fixed((threads / outer).max(1)));
     let per_output: Vec<EpppSet> = par_map_indices(outer, outputs.len(), |j| {
-        generate_eppp(&outputs[j], options.grouping, &inner_limits)
+        generate_eppp_session(&outputs[j], options.grouping, &inner_limits, &|_| true, ctx)
     });
     let mut truncated = false;
+    let mut outcome = Outcome::Completed;
     let mut pool: Vec<Pseudocube> = Vec::new();
     let mut seen: std::collections::HashSet<Pseudocube> = std::collections::HashSet::new();
     for eppp in per_output {
         truncated |= eppp.stats.truncated;
+        outcome = outcome.merge(eppp.stats.outcome);
         for pc in eppp.pseudocubes {
             if seen.insert(pc.clone()) {
                 pool.push(pc);
             }
         }
     }
+    ctx.emit(Event::PhaseFinished {
+        phase: Phase::Generate,
+        wall: gen_start.elapsed(),
+        outcome,
+    });
 
     // Rows: (output, minterm) pairs.
     let mut row_base = Vec::with_capacity(outputs.len());
@@ -131,7 +166,15 @@ pub fn minimize_spp_multi(outputs: &[BoolFn], options: &SppOptions) -> MultiSppR
         problem.add_column(&rows, pc.literal_count().max(1));
     }
 
-    let solution = solve_auto(&problem, &options.cover_limits);
+    let cover_start = std::time::Instant::now();
+    ctx.emit(Event::PhaseStarted { phase: Phase::Cover });
+    let (solution, cover_outcome) = solve_auto_ctx(&problem, &options.cover_limits, ctx);
+    outcome = outcome.merge(cover_outcome);
+    ctx.emit(Event::PhaseFinished {
+        phase: Phase::Cover,
+        wall: cover_start.elapsed(),
+        outcome: cover_outcome,
+    });
     let shared_terms: Vec<Pseudocube> =
         solution.columns.iter().map(|&c| pool[c].clone()).collect();
     let shared_literal_count = shared_terms.iter().map(Pseudocube::literal_count).sum();
@@ -173,18 +216,27 @@ pub fn minimize_spp_multi(outputs: &[BoolFn], options: &SppOptions) -> MultiSppR
         forms.push(SppForm::new(n, kept));
     }
 
-    MultiSppResult {
+    Ok(MultiSppResult {
         forms,
         shared_terms,
         shared_literal_count,
-        optimal: solution.optimal && !truncated,
-    }
+        optimal: solution.optimal && !truncated && outcome.is_completed(),
+        outcome,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::minimize_spp_exact;
+    use crate::minimize::exact_session;
+
+    fn minimize_spp_multi(outputs: &[BoolFn], options: &SppOptions) -> MultiSppResult {
+        multi_session(outputs, options, &RunCtx::default()).unwrap()
+    }
+
+    fn minimize_spp_exact(f: &BoolFn, options: &SppOptions) -> crate::SppMinResult {
+        exact_session(f, options, &RunCtx::default())
+    }
 
     #[test]
     fn forms_verify_and_share() {
@@ -274,14 +326,39 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one output")]
     fn empty_input_panics() {
-        let _ = minimize_spp_multi(&[], &SppOptions::default());
+        #![allow(deprecated)]
+        let _ = super::minimize_spp_multi(&[], &SppOptions::default());
     }
 
     #[test]
     #[should_panic(expected = "share the input variables")]
     fn mixed_widths_panic() {
+        #![allow(deprecated)]
         let f0 = BoolFn::from_indices(3, &[1]);
         let f1 = BoolFn::from_indices(4, &[1]);
-        let _ = minimize_spp_multi(&[f0, f1], &SppOptions::default());
+        let _ = super::minimize_spp_multi(&[f0, f1], &SppOptions::default());
+    }
+
+    #[test]
+    fn bad_inputs_are_errors() {
+        let err = multi_session(&[], &SppOptions::default(), &RunCtx::default()).unwrap_err();
+        assert_eq!(err, SppError::NoOutputs);
+        let f0 = BoolFn::from_indices(3, &[1]);
+        let f1 = BoolFn::from_indices(4, &[1]);
+        let err =
+            multi_session(&[f0, f1], &SppOptions::default(), &RunCtx::default()).unwrap_err();
+        assert_eq!(err, SppError::MixedVariableCounts { expected: 3, found: 4 });
+    }
+
+    #[test]
+    fn expired_deadline_still_realizes_every_output() {
+        let f0 = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+        let f1 = BoolFn::from_truth_fn(4, |x| x % 5 == 1);
+        let ctx = RunCtx::new().with_deadline_in(std::time::Duration::ZERO);
+        let r = multi_session(&[f0.clone(), f1.clone()], &SppOptions::default(), &ctx).unwrap();
+        assert_eq!(r.outcome, Outcome::DeadlineExceeded);
+        assert!(!r.optimal);
+        r.forms[0].check_realizes(&f0).unwrap();
+        r.forms[1].check_realizes(&f1).unwrap();
     }
 }

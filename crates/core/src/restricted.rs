@@ -12,9 +12,11 @@
 //! - `k ≥ n` places no restriction and agrees with full SPP.
 
 use spp_boolfn::BoolFn;
+use spp_obs::{Event, Phase, RunCtx};
 
+use crate::generate::generate_eppp_session;
 use crate::minimize::cover_with_candidates;
-use crate::{GenLimits, Grouping, Pseudocube, SppMinResult, SppOptions};
+use crate::{GenLimits, Grouping, Pseudocube, SppError, SppMinResult, SppOptions};
 
 /// Whether every EXOR factor of the canonical expression of `pc` has at
 /// most `max_literals` literals.
@@ -72,29 +74,52 @@ pub fn factor_width_at_most(pc: &Pseudocube, max_literals: usize) -> bool {
 ///
 /// ```
 /// use spp_boolfn::BoolFn;
-/// use spp_core::{minimize_spp_restricted, SppOptions};
+/// use spp_core::Minimizer;
 ///
 /// // Odd parity on 4 variables: full SPP is one 4-literal factor, but
 /// // 2-SPP must split it: (x0⊕x1)·(x2⊕x3) + ... — still beats SP's 32.
 /// let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
-/// let full = spp_core::minimize_spp_exact(&f, &SppOptions::default());
-/// let two = minimize_spp_restricted(&f, 2, &SppOptions::default());
+/// let full = Minimizer::new(&f).run_exact();
+/// let two = Minimizer::new(&f).run_restricted(2).unwrap();
 /// assert!(two.literal_count() >= full.literal_count());
 /// assert!(two.form.check_realizes(&f).is_ok());
 /// assert!(two.form.terms().iter().all(|t|
 ///     spp_core::factor_width_at_most(t, 2)));
 /// ```
 #[must_use]
+#[deprecated(since = "0.2.0", note = "use `Minimizer::new(f).run_restricted(width)` instead")]
 pub fn minimize_spp_restricted(
     f: &BoolFn,
     max_factor_literals: usize,
     options: &SppOptions,
 ) -> SppMinResult {
-    assert!(max_factor_literals > 0, "factors must be allowed at least one literal");
+    restricted_session(f, max_factor_literals, options, &RunCtx::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The run-control-aware restricted minimizer behind
+/// [`crate::Minimizer::run_restricted`]. Checkpoint behaviour matches the
+/// exact pipeline: one counted checkpoint per generation level, sparse
+/// deadline/cancel polls in sweeps and the covering search.
+pub(crate) fn restricted_session(
+    f: &BoolFn,
+    max_factor_literals: usize,
+    options: &SppOptions,
+    ctx: &RunCtx,
+) -> Result<SppMinResult, SppError> {
+    if max_factor_literals == 0 {
+        return Err(SppError::ZeroFactorWidth);
+    }
     let gen_start = std::time::Instant::now();
-    let eppp = crate::generate_eppp_where(f, options.grouping, &options.gen_limits, &|pc| {
-        factor_width_at_most(pc, max_factor_literals)
-    });
+    ctx.emit(Event::PhaseStarted { phase: Phase::Generate });
+    let eppp = generate_eppp_session(
+        f,
+        options.grouping,
+        &options.gen_limits,
+        &|pc| factor_width_at_most(pc, max_factor_literals),
+        ctx,
+    );
+    let mut outcome = eppp.stats.outcome;
     let mut candidates: Vec<Pseudocube> = eppp.pseudocubes;
     if eppp.stats.truncated {
         // Cubes have width-1 factors, so the SP prime implicants always
@@ -116,9 +141,21 @@ pub fn minimize_spp_restricted(
         }
     }
     let gen_elapsed = gen_start.elapsed();
+    ctx.emit(Event::PhaseFinished {
+        phase: Phase::Generate,
+        wall: gen_elapsed,
+        outcome: eppp.stats.outcome,
+    });
     let cover_start = std::time::Instant::now();
-    let (mut form, cover_optimal) =
-        cover_with_candidates(f, &candidates, &options.cover_limits, options.gen_limits.parallelism);
+    ctx.emit(Event::PhaseStarted { phase: Phase::Cover });
+    let (mut form, cover_optimal, cover_outcome) = cover_with_candidates(
+        f,
+        &candidates,
+        &options.cover_limits,
+        options.gen_limits.parallelism,
+        ctx,
+    );
+    outcome = outcome.merge(cover_outcome);
     if eppp.stats.truncated {
         // As in the unrestricted minimizer: never return worse than SP.
         let sp = spp_sp::minimize_sp(f, &options.cover_limits);
@@ -129,14 +166,21 @@ pub fn minimize_spp_restricted(
             );
         }
     }
-    SppMinResult {
+    let cover_elapsed = cover_start.elapsed();
+    ctx.emit(Event::PhaseFinished {
+        phase: Phase::Cover,
+        wall: cover_elapsed,
+        outcome: cover_outcome,
+    });
+    Ok(SppMinResult {
         form,
         num_candidates: candidates.len(),
-        optimal: cover_optimal && !eppp.stats.truncated,
+        optimal: cover_optimal && !eppp.stats.truncated && outcome.is_completed(),
         gen_stats: eppp.stats,
         gen_elapsed,
-        cover_elapsed: cover_start.elapsed(),
-    }
+        cover_elapsed,
+        outcome,
+    })
 }
 
 /// Convenience wrapper for the classical 2-SPP form.
@@ -145,15 +189,16 @@ pub fn minimize_spp_restricted(
 ///
 /// ```
 /// use spp_boolfn::BoolFn;
-/// use spp_core::{minimize_2spp, SppOptions};
+/// use spp_core::Minimizer;
 ///
 /// let f = BoolFn::from_indices(2, &[0b01, 0b10]);
-/// let r = minimize_2spp(&f, &SppOptions::default());
+/// let r = Minimizer::new(&f).run_restricted(2).unwrap();
 /// assert_eq!(r.literal_count(), 2); // (x0 ⊕ x1) fits in a 2-SPP form
 /// ```
 #[must_use]
+#[deprecated(since = "0.2.0", note = "use `Minimizer::new(f).run_restricted(2)` instead")]
 pub fn minimize_2spp(f: &BoolFn, options: &SppOptions) -> SppMinResult {
-    minimize_spp_restricted(f, 2, options)
+    restricted_session(f, 2, options, &RunCtx::default()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Sanity default used by the harness: generation budget for restricted
@@ -172,12 +217,25 @@ pub fn restricted_default_grouping() -> Grouping {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{minimize_spp_exact, SppForm};
+    use crate::minimize::exact_session;
+    use crate::SppForm;
     use spp_gf2::Gf2Vec;
     use spp_sp::minimize_sp;
 
     fn v(s: &str) -> Gf2Vec {
         Gf2Vec::from_bit_str(s).unwrap()
+    }
+
+    fn minimize_spp_restricted(f: &BoolFn, width: usize, options: &SppOptions) -> SppMinResult {
+        restricted_session(f, width, options, &RunCtx::default()).unwrap()
+    }
+
+    fn minimize_2spp(f: &BoolFn, options: &SppOptions) -> SppMinResult {
+        minimize_spp_restricted(f, 2, options)
+    }
+
+    fn minimize_spp_exact(f: &BoolFn, options: &SppOptions) -> SppMinResult {
+        exact_session(f, options, &RunCtx::default())
     }
 
     #[test]
@@ -242,15 +300,9 @@ mod tests {
         // Tight truncation: the width filter plus truncation must never
         // produce an uncoverable instance.
         let f = BoolFn::from_truth_fn(5, |x| x % 3 == 1);
-        let options = SppOptions {
-            gen_limits: GenLimits {
-                max_pseudocubes: 20,
-                max_level_size: 10,
-                time_limit: None,
-                ..GenLimits::default()
-            },
-            ..SppOptions::default()
-        };
+        let options = SppOptions::default().with_gen_limits(
+            GenLimits::default().with_max_pseudocubes(20).with_max_level_size(10),
+        );
         let r = minimize_spp_restricted(&f, 2, &options);
         assert!(r.form.check_realizes(&f).is_ok());
     }
@@ -265,7 +317,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one literal")]
     fn zero_width_panics() {
+        #![allow(deprecated)]
         let f = BoolFn::from_indices(2, &[1]);
-        let _ = minimize_spp_restricted(&f, 0, &SppOptions::default());
+        let _ = super::minimize_spp_restricted(&f, 0, &SppOptions::default());
+    }
+
+    #[test]
+    fn zero_width_is_an_error() {
+        let f = BoolFn::from_indices(2, &[1]);
+        let err =
+            restricted_session(&f, 0, &SppOptions::default(), &RunCtx::default()).unwrap_err();
+        assert_eq!(err, SppError::ZeroFactorWidth);
     }
 }

@@ -1,0 +1,403 @@
+//! The unified builder-style session API: [`Minimizer`] and
+//! [`MultiMinimizer`].
+//!
+//! Every minimization entry point of the workspace funnels through one of
+//! these two builders, which own the algorithm configuration
+//! ([`SppOptions`]) *and* the run control ([`RunCtx`]: deadline,
+//! cancellation, progress events). The deprecated free functions
+//! (`minimize_spp_exact`, `generate_eppp`, ...) are thin wrappers over
+//! default-configured sessions.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spp_boolfn::{BoolFn, Cube};
+use spp_obs::{CancelToken, EventSink, RunCtx};
+use spp_par::Parallelism;
+
+use crate::generate::generate_eppp_session;
+use crate::heuristic::{heuristic_from_cover_session, heuristic_session};
+use crate::minimize::exact_session;
+use crate::multi::multi_session;
+use crate::restricted::restricted_session;
+use crate::{
+    EpppSet, GenLimits, Grouping, MultiSppResult, Pseudocube, SppError, SppMinResult, SppOptions,
+};
+
+/// A configured single-output minimization session — the front door of the
+/// crate.
+///
+/// Build one per run: algorithm knobs (`grouping`, `limits`,
+/// `cover_limits`, `threads`) and run control (`deadline`, `cancel_token`,
+/// `on_event`) chain fluently, then one of the `run_*` / `generate`
+/// methods executes. On deadline or cancellation every phase unwinds to a
+/// valid best-so-far form and the cause is recorded in the result's
+/// `outcome`.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use spp_boolfn::BoolFn;
+/// use spp_core::{Grouping, Minimizer, Outcome};
+///
+/// let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+/// let r = Minimizer::new(&f)
+///     .grouping(Grouping::PartitionTrie)
+///     .deadline(Duration::from_secs(5))
+///     .run_exact();
+/// assert!(r.form.check_realizes(&f).is_ok());
+/// assert_eq!(r.outcome, Outcome::Completed);
+/// assert_eq!(r.literal_count(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Minimizer<'f> {
+    f: &'f BoolFn,
+    options: SppOptions,
+    ctx: RunCtx,
+}
+
+impl<'f> Minimizer<'f> {
+    /// Starts a session on `f` with default options and no run control.
+    #[must_use]
+    pub fn new(f: &'f BoolFn) -> Self {
+        Minimizer { f, options: SppOptions::default(), ctx: RunCtx::default() }
+    }
+
+    /// Replaces the whole option block at once.
+    #[must_use]
+    pub fn options(mut self, options: SppOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the structure-grouping strategy for candidate generation.
+    #[must_use]
+    pub fn grouping(mut self, grouping: Grouping) -> Self {
+        self.options.grouping = grouping;
+        self
+    }
+
+    /// Sets the generation budget.
+    #[must_use]
+    pub fn limits(mut self, limits: GenLimits) -> Self {
+        self.options.gen_limits = limits;
+        self
+    }
+
+    /// Sets the covering budget.
+    #[must_use]
+    pub fn cover_limits(mut self, limits: spp_cover::Limits) -> Self {
+        self.options.cover_limits = limits;
+        self
+    }
+
+    /// Caps the whole run (all phases together) to `budget` from now.
+    /// Tighter per-phase `time_limit`s still apply.
+    #[must_use]
+    pub fn deadline(self, budget: Duration) -> Self {
+        self.deadline_at(Instant::now() + budget)
+    }
+
+    /// Caps the whole run with an absolute deadline.
+    #[must_use]
+    pub fn deadline_at(mut self, deadline: Instant) -> Self {
+        self.ctx = self.ctx.cap_deadline(Some(deadline));
+        self
+    }
+
+    /// Uses exactly `n` worker threads (`--threads`-style override; wins
+    /// over the `SPP_THREADS` environment default).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.options.gen_limits.parallelism = Parallelism::fixed(n);
+        self
+    }
+
+    /// Sets the full worker-thread policy (e.g. [`Parallelism::AUTO`]).
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.options.gen_limits.parallelism = parallelism;
+        self
+    }
+
+    /// Installs a cancellation token: the run stops cooperatively (with a
+    /// valid best-so-far result) once the token is cancelled.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.ctx = self.ctx.with_cancel(token);
+        self
+    }
+
+    /// Installs a progress-event sink (see [`spp_obs::EventSink`]).
+    #[must_use]
+    pub fn on_event(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.ctx = self.ctx.with_sink(sink);
+        self
+    }
+
+    /// The configured run-control context (for composing with the lower
+    /// level `spp_cover` API).
+    #[must_use]
+    pub fn run_ctx(&self) -> &RunCtx {
+        &self.ctx
+    }
+
+    /// Generates the EPPP candidate set (Algorithm 2 steps 1–2) without
+    /// covering. See the deprecated [`crate::generate_eppp`] for the
+    /// algorithmic contract.
+    #[must_use]
+    pub fn generate(&self) -> EpppSet {
+        self.generate_where(&|_| true)
+    }
+
+    /// [`Minimizer::generate`] restricted to a *conforming* family of
+    /// pseudoproducts. See the deprecated [`crate::generate_eppp_where`]
+    /// for the algorithmic contract.
+    #[must_use]
+    pub fn generate_where(
+        &self,
+        conforming: &(dyn Fn(&Pseudocube) -> bool + Sync),
+    ) -> EpppSet {
+        generate_eppp_session(
+            self.f,
+            self.options.grouping,
+            &self.options.gen_limits,
+            conforming,
+            &self.ctx,
+        )
+    }
+
+    /// Runs the exact minimizer — the paper's **Algorithm 2** (EPPP
+    /// generation + minimum-literal covering).
+    #[must_use]
+    pub fn run_exact(&self) -> SppMinResult {
+        exact_session(self.f, &self.options, &self.ctx)
+    }
+
+    /// Runs the incremental heuristic — the paper's **Algorithm 3**
+    /// (`SPP_k` forms) — seeded with the SP prime implicants.
+    ///
+    /// # Errors
+    ///
+    /// [`SppError::HeuristicK`] when `k` is outside `0 ≤ k < n`.
+    pub fn run_heuristic(&self, k: usize) -> Result<SppMinResult, SppError> {
+        heuristic_session(self.f, k, &self.options, &self.ctx)
+    }
+
+    /// [`Minimizer::run_heuristic`] seeded by an arbitrary cube cover.
+    ///
+    /// # Errors
+    ///
+    /// [`SppError::HeuristicK`] when `k` is out of range,
+    /// [`SppError::SeedNotACover`] / [`SppError::SeedNotImplicant`] when
+    /// the seed violates its contract.
+    pub fn run_heuristic_from_cover(
+        &self,
+        cover: &[Cube],
+        k: usize,
+    ) -> Result<SppMinResult, SppError> {
+        heuristic_from_cover_session(self.f, cover, k, &self.options, &self.ctx)
+    }
+
+    /// Runs the width-restricted minimizer (`k`-SPP: every EXOR factor has
+    /// at most `max_factor_literals` literals; 2 gives the classical
+    /// 2-SPP form).
+    ///
+    /// # Errors
+    ///
+    /// [`SppError::ZeroFactorWidth`] when `max_factor_literals == 0`.
+    pub fn run_restricted(
+        &self,
+        max_factor_literals: usize,
+    ) -> Result<SppMinResult, SppError> {
+        restricted_session(self.f, max_factor_literals, &self.options, &self.ctx)
+    }
+}
+
+/// A configured multi-output minimization session: per-output EPPP
+/// generation plus one shared covering problem in which each chosen
+/// pseudoproduct's literals are paid once.
+///
+/// # Examples
+///
+/// ```
+/// use spp_boolfn::BoolFn;
+/// use spp_core::MultiMinimizer;
+///
+/// let f0 = BoolFn::from_truth_fn(3, |x| (x ^ (x >> 1)) & 1 == 1);
+/// let f1 = BoolFn::from_truth_fn(3, |x| (x ^ (x >> 1)) & 1 == 1 && x & 0b100 != 0);
+/// let r = MultiMinimizer::new(&[f0.clone(), f1.clone()]).run().unwrap();
+/// assert!(r.forms[0].check_realizes(&f0).is_ok());
+/// assert!(r.shared_literal_count <= r.separate_literal_count());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiMinimizer<'f> {
+    outputs: &'f [BoolFn],
+    options: SppOptions,
+    ctx: RunCtx,
+}
+
+impl<'f> MultiMinimizer<'f> {
+    /// Starts a session on `outputs` with default options and no run
+    /// control.
+    #[must_use]
+    pub fn new(outputs: &'f [BoolFn]) -> Self {
+        MultiMinimizer { outputs, options: SppOptions::default(), ctx: RunCtx::default() }
+    }
+
+    /// Replaces the whole option block at once.
+    #[must_use]
+    pub fn options(mut self, options: SppOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the structure-grouping strategy for candidate generation.
+    #[must_use]
+    pub fn grouping(mut self, grouping: Grouping) -> Self {
+        self.options.grouping = grouping;
+        self
+    }
+
+    /// Sets the generation budget.
+    #[must_use]
+    pub fn limits(mut self, limits: GenLimits) -> Self {
+        self.options.gen_limits = limits;
+        self
+    }
+
+    /// Sets the covering budget.
+    #[must_use]
+    pub fn cover_limits(mut self, limits: spp_cover::Limits) -> Self {
+        self.options.cover_limits = limits;
+        self
+    }
+
+    /// Caps the whole run (all outputs, all phases) to `budget` from now.
+    #[must_use]
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.ctx = self.ctx.cap_deadline(Some(Instant::now() + budget));
+        self
+    }
+
+    /// Uses exactly `n` worker threads.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.options.gen_limits.parallelism = Parallelism::fixed(n);
+        self
+    }
+
+    /// Sets the full worker-thread policy.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.options.gen_limits.parallelism = parallelism;
+        self
+    }
+
+    /// Installs a cancellation token.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.ctx = self.ctx.with_cancel(token);
+        self
+    }
+
+    /// Installs a progress-event sink.
+    #[must_use]
+    pub fn on_event(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.ctx = self.ctx.with_sink(sink);
+        self
+    }
+
+    /// Runs the shared-term multi-output minimization.
+    ///
+    /// # Errors
+    ///
+    /// [`SppError::NoOutputs`] on an empty slice,
+    /// [`SppError::MixedVariableCounts`] when outputs disagree on the
+    /// variable count.
+    pub fn run(&self) -> Result<MultiSppResult, SppError> {
+        multi_session(self.outputs, &self.options, &self.ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_obs::{Event, Outcome};
+    use std::sync::Mutex;
+
+    #[test]
+    fn builder_chain_configures_everything() {
+        let f = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
+        let r = Minimizer::new(&f)
+            .grouping(Grouping::HashMap)
+            .limits(GenLimits::default().with_max_pseudocubes(50_000))
+            .cover_limits(spp_cover::Limits::default())
+            .threads(2)
+            .deadline(Duration::from_secs(10))
+            .run_exact();
+        assert_eq!(r.literal_count(), 3);
+        assert_eq!(r.outcome, Outcome::Completed);
+        assert!(r.optimal);
+    }
+
+    #[test]
+    fn session_events_cover_both_phases() {
+        struct Log(Mutex<Vec<String>>);
+        impl EventSink for Log {
+            fn emit(&self, event: &Event) {
+                self.0.lock().unwrap().push(event.to_json());
+            }
+        }
+        let log = Arc::new(Log(Mutex::new(Vec::new())));
+        let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+        let r = Minimizer::new(&f).on_event(log.clone()).run_exact();
+        assert!(r.optimal);
+        let lines = log.0.lock().unwrap();
+        let text = lines.join("\n");
+        assert!(text.contains("\"phase_started\""));
+        assert!(text.contains("\"generate\""));
+        assert!(text.contains("\"cover\""));
+        assert!(text.contains("\"gen_level_finished\""));
+        assert!(text.contains("\"cover_finished\""));
+        // Phase events bracket properly: generate starts first, cover
+        // finishes last.
+        assert!(lines.first().unwrap().contains("generate"));
+        assert!(lines.last().unwrap().contains("phase_finished"));
+    }
+
+    #[test]
+    fn cancel_token_stops_a_session() {
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 != 0);
+        let token = CancelToken::new();
+        token.cancel();
+        let r = Minimizer::new(&f).cancel_token(token).run_exact();
+        assert_eq!(r.outcome, Outcome::Cancelled);
+        assert!(!r.optimal);
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+
+    #[test]
+    fn heuristic_and_restricted_run_through_the_session() {
+        let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+        let h = Minimizer::new(&f).run_heuristic(0).unwrap();
+        assert!(h.form.check_realizes(&f).is_ok());
+        let r = Minimizer::new(&f).run_restricted(2).unwrap();
+        assert!(r.form.check_realizes(&f).is_ok());
+        assert!(Minimizer::new(&f).run_heuristic(9).is_err());
+        assert!(Minimizer::new(&f).run_restricted(0).is_err());
+    }
+
+    #[test]
+    fn generate_matches_the_deprecated_entry_point() {
+        #![allow(deprecated)]
+        let f = BoolFn::from_indices(4, &[0, 3, 5, 6, 9, 10, 12, 15]);
+        let new = Minimizer::new(&f).generate();
+        let old = crate::generate_eppp(&f, Grouping::PartitionTrie, &GenLimits::default());
+        assert_eq!(new.pseudocubes, old.pseudocubes);
+        assert_eq!(new.stats.comparisons, old.stats.comparisons);
+        assert_eq!(new.stats.total_generated, old.stats.total_generated);
+        assert_eq!(new.stats.outcome, old.stats.outcome);
+    }
+}

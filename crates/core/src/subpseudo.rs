@@ -3,7 +3,7 @@
 use crate::Pseudocube;
 
 /// Enumerates **all** `2^{m+1} − 2` distinct pseudocubes of degree `m − 1`
-/// strictly contained in a pseudocube of degree `m` (Theorem 2 / [1]).
+/// strictly contained in a pseudocube of degree `m` (Theorem 2 / \[1\]).
 ///
 /// In the affine view: every hyperplane subspace `W' ⊂ W` (there are
 /// `2^m − 1`) splits the coset into exactly two cosets of `W'`. The paper's

@@ -5,12 +5,12 @@
 
 use proptest::prelude::*;
 use spp_boolfn::BoolFn;
-use spp_core::{generate_eppp, GenLimits, Grouping, Parallelism, Pseudocube};
+use spp_core::{GenLimits, Grouping, Minimizer, Parallelism, Pseudocube};
 
 /// Non-truncating generation at a pinned worker count.
 fn eppp_at(f: &BoolFn, grouping: Grouping, threads: usize) -> (Vec<Pseudocube>, u64) {
-    let limits = GenLimits { parallelism: Parallelism::fixed(threads), ..GenLimits::default() };
-    let set = generate_eppp(f, grouping, &limits);
+    let limits = GenLimits::default().with_parallelism(Parallelism::fixed(threads));
+    let set = Minimizer::new(f).grouping(grouping).limits(limits).generate();
     assert!(!set.stats.truncated, "determinism is only promised without truncation");
     (set.pseudocubes, set.stats.comparisons)
 }

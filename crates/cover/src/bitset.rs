@@ -4,7 +4,7 @@ use std::fmt;
 
 /// A fixed-length, heap-allocated bitset.
 ///
-/// Unlike [`spp_gf2::Gf2Vec`] (a small `Copy` vector over GF(2) used for
+/// Unlike `spp_gf2::Gf2Vec` (a small `Copy` vector over GF(2) used for
 /// points and structures), `BitSet` scales to the thousands of rows of a
 /// covering matrix.
 ///

@@ -2,6 +2,8 @@
 
 use std::time::Instant;
 
+use spp_obs::{Event, Outcome, RunCtx};
+
 use crate::problem::{CoverProblem, CoverSolution, Limits};
 use crate::reduce::{
     lower_bound, remove_dominated_cols, remove_dominated_rows, select_essentials, RowIndex, State,
@@ -19,8 +21,9 @@ struct Search<'a> {
     best: CoverSolution,
     nodes: u64,
     limits: &'a Limits,
-    deadline: Option<Instant>,
+    ctx: &'a RunCtx,
     exhausted: bool,
+    outcome: Outcome,
 }
 
 /// Solves a covering instance to proven optimality with branch & bound, as
@@ -53,22 +56,53 @@ pub fn solve_exact(
     limits: &Limits,
     warm_start: Option<&CoverSolution>,
 ) -> CoverSolution {
+    solve_exact_ctx(problem, limits, warm_start, &RunCtx::default()).0
+}
+
+/// [`solve_exact`] under a run-control context: the search additionally
+/// honours the context's deadline and cancellation token (polled every 256
+/// nodes alongside the node budget), emits a
+/// [`CoverImproved`](spp_obs::Event::CoverImproved) event whenever the
+/// incumbent improves, and reports how the search ended.
+///
+/// On deadline or cancellation the **incumbent** cover (never worse than
+/// the warm start) is returned with `optimal == false`; plain node-budget
+/// exhaustion reports [`Outcome::Completed`] — the `optimal` flag already
+/// captures the lost proof.
+///
+/// # Panics
+///
+/// Panics if some row is covered by no column at all.
+#[must_use]
+pub fn solve_exact_ctx(
+    problem: &CoverProblem,
+    limits: &Limits,
+    warm_start: Option<&CoverSolution>,
+    ctx: &RunCtx,
+) -> (CoverSolution, Outcome) {
     assert!(!problem.has_uncoverable_row(), "covering instance is infeasible");
     let seed = warm_start.cloned().unwrap_or_else(|| crate::solve_greedy(problem));
+    let ctx = ctx.clone().cap_deadline(limits.time_limit.map(|d| Instant::now() + d));
     let mut search = Search {
         problem,
         index: RowIndex::build(problem),
         best: CoverSolution { optimal: false, ..seed },
         nodes: 0,
         limits,
-        deadline: limits.time_limit.map(|d| Instant::now() + d),
+        ctx: &ctx,
         exhausted: true,
+        outcome: Outcome::Completed,
     };
     let state = State::root(problem);
     search.recurse(state);
     search.best.columns.sort_unstable();
     search.best.optimal = search.exhausted;
-    search.best
+    ctx.emit(Event::CoverFinished {
+        cost: search.best.cost,
+        nodes: search.nodes,
+        optimal: search.best.optimal,
+    });
+    (search.best, search.outcome)
 }
 
 impl Search<'_> {
@@ -82,13 +116,14 @@ impl Search<'_> {
             self.exhausted = false;
             return true;
         }
-        // Check the clock every 256 nodes to keep it off the hot path.
-        if self.nodes.is_multiple_of(256) {
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
-                    self.exhausted = false;
-                    return true;
-                }
+        // Check the clock (and the cancellation token) at the root and
+        // every 256 nodes after that, keeping them off the hot path while
+        // still unwinding immediately when the context expired up front.
+        if self.nodes == 1 || self.nodes.is_multiple_of(256) {
+            if let Some(reason) = self.ctx.stop_reason() {
+                self.exhausted = false;
+                self.outcome = reason;
+                return true;
             }
         }
         false
@@ -111,6 +146,7 @@ impl Search<'_> {
                 cost: state.cost,
                 optimal: false,
             };
+            self.ctx.emit(Event::CoverImproved { cost: state.cost, nodes: self.nodes });
             return;
         }
         if state.active_rows.count_ones() <= ROW_DOMINANCE_LIMIT {
@@ -129,6 +165,7 @@ impl Search<'_> {
                         cost: state.cost,
                         optimal: false,
                     };
+                    self.ctx.emit(Event::CoverImproved { cost: state.cost, nodes: self.nodes });
                 }
                 return;
             }
@@ -232,6 +269,96 @@ mod tests {
         let sol = solve_exact(&p, &Limits::default(), None);
         assert_eq!(sol.cost, 2);
         assert_eq!(sol.columns, vec![1, 2]);
+    }
+
+    #[test]
+    fn cancelled_search_returns_the_incumbent() {
+        use spp_obs::CancelToken;
+        let mut p = CoverProblem::new(6);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                p.add_column(&[i, j], 2);
+            }
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = RunCtx::new().with_cancel(token);
+        let (sol, outcome) = solve_exact_ctx(&p, &Limits::default(), None, &ctx);
+        assert!(p.is_cover(&sol.columns));
+        assert!(!sol.optimal);
+        assert_eq!(outcome, Outcome::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_returns_the_warm_start() {
+        let mut p = CoverProblem::new(4);
+        p.add_column(&[0, 1, 2], 3);
+        p.add_column(&[0, 1], 2);
+        p.add_column(&[2, 3], 2);
+        p.add_column(&[3], 2);
+        let greedy = crate::solve_greedy(&p);
+        let ctx = RunCtx::new().with_deadline_in(std::time::Duration::ZERO);
+        let (sol, outcome) = solve_exact_ctx(&p, &Limits::default(), Some(&greedy), &ctx);
+        assert!(p.is_cover(&sol.columns));
+        assert!(!sol.optimal);
+        assert!(sol.cost <= greedy.cost);
+        assert_eq!(outcome, Outcome::DeadlineExceeded);
+    }
+
+    #[test]
+    fn completed_search_reports_completed_even_when_node_budget_hits() {
+        let mut p = CoverProblem::new(6);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                p.add_column(&[i, j], 2);
+            }
+        }
+        let limits = Limits { max_nodes: 2, ..Limits::default() };
+        let (sol, outcome) =
+            solve_exact_ctx(&p, &limits, None, &RunCtx::default());
+        assert!(!sol.optimal);
+        assert_eq!(outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn incumbent_improvements_are_reported() {
+        use spp_obs::{Event, EventSink};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Spy {
+            improvements: AtomicU64,
+            finished: AtomicU64,
+        }
+        impl EventSink for Spy {
+            fn emit(&self, event: &Event) {
+                match event {
+                    Event::CoverImproved { .. } => {
+                        self.improvements.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Event::CoverFinished { optimal: true, .. } => {
+                        self.finished.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let spy = Arc::new(Spy::default());
+        let mut p = CoverProblem::new(4);
+        p.add_column(&[0, 1, 2], 3);
+        p.add_column(&[0, 1], 2);
+        p.add_column(&[2, 3], 2);
+        p.add_column(&[3], 2);
+        let ctx = RunCtx::new().with_sink(spy.clone());
+        let (sol, outcome) = solve_exact_ctx(&p, &Limits::default(), None, &ctx);
+        assert!(sol.optimal);
+        assert_eq!(outcome, Outcome::Completed);
+        // The exact search beats the greedy warm start on this trap, so at
+        // least one improvement event must have fired.
+        assert!(spy.improvements.load(Ordering::Relaxed) >= 1);
+        assert_eq!(spy.finished.load(Ordering::Relaxed), 1);
     }
 
     #[test]

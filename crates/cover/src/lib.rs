@@ -43,9 +43,10 @@ mod problem;
 mod reduce;
 
 pub use bitset::BitSet;
-pub use exact::solve_exact;
+pub use exact::{solve_exact, solve_exact_ctx};
 pub use greedy::solve_greedy;
 pub use problem::{CoverProblem, CoverSolution, Limits};
+pub use spp_obs::{Event, Outcome, RunCtx};
 
 /// Solves `problem` with the best strategy for its size: greedy always, and
 /// exact branch & bound (seeded with the greedy bound) when the instance is
@@ -68,12 +69,38 @@ pub use problem::{CoverProblem, CoverSolution, Limits};
 /// ```
 #[must_use]
 pub fn solve_auto(problem: &CoverProblem, limits: &Limits) -> CoverSolution {
+    solve_auto_ctx(problem, limits, &RunCtx::default()).0
+}
+
+/// [`solve_auto`] under a run-control context (see [`solve_exact_ctx`]):
+/// emits `CoverStarted` / `CoverFinished` events, skips the exact
+/// refinement when the context has already expired — the greedy cover *is*
+/// the best-so-far then — and reports how the step ended.
+#[must_use]
+pub fn solve_auto_ctx(
+    problem: &CoverProblem,
+    limits: &Limits,
+    ctx: &RunCtx,
+) -> (CoverSolution, Outcome) {
+    ctx.emit(Event::CoverStarted { rows: problem.num_rows(), columns: problem.num_columns() });
     let greedy = solve_greedy(problem);
-    if problem.num_columns() <= limits.max_exact_columns {
-        let exact = solve_exact(problem, limits, Some(&greedy));
-        if exact.cost <= greedy.cost {
-            return exact;
+    let mut outcome = ctx.stop_reason().unwrap_or_default();
+    let mut solution = greedy;
+    if outcome.is_completed() && problem.num_columns() <= limits.max_exact_columns {
+        // `solve_exact_ctx` emits the final CoverFinished event itself,
+        // with the true node count.
+        let (exact, exact_outcome) = solve_exact_ctx(problem, limits, Some(&solution), ctx);
+        outcome = exact_outcome;
+        if exact.cost <= solution.cost {
+            solution = exact;
         }
+    } else {
+        // Greedy only: report it as the final cover (0 nodes explored).
+        ctx.emit(Event::CoverFinished {
+            cost: solution.cost,
+            nodes: 0,
+            optimal: solution.optimal,
+        });
     }
-    greedy
+    (solution, outcome)
 }

@@ -355,9 +355,9 @@ mod tests {
 
     #[test]
     fn writer_reader_roundtrip() {
-        use spp_core::{minimize_spp_exact, SppOptions};
+        use spp_core::Minimizer;
         let f = BoolFn::from_truth_fn(4, |x| x % 3 == 1 || x.count_ones() % 2 == 0);
-        let form = minimize_spp_exact(&f, &SppOptions::default()).form;
+        let form = Minimizer::new(&f).run_exact().form;
         let original = Netlist::from_spp_form(&form);
         let parsed = Netlist::from_blif(&original.to_blif("rt")).unwrap();
         assert!(parsed.equivalent_to_fast(&f, 0));

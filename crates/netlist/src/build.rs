@@ -121,13 +121,13 @@ impl Netlist {
 mod tests {
     use super::*;
     use spp_boolfn::BoolFn;
-    use spp_core::{minimize_spp_exact, minimize_spp_multi, SppOptions};
+    use spp_core::{Minimizer, MultiMinimizer};
     use spp_sp::minimize_sp;
 
     #[test]
     fn spp_netlist_is_equivalent_and_three_level() {
         let f = BoolFn::from_truth_fn(4, |x| (x ^ (x >> 1)) & 1 == 1 || x == 0b1111);
-        let r = minimize_spp_exact(&f, &SppOptions::default());
+        let r = Minimizer::new(&f).run_exact();
         let net = Netlist::from_spp_form(&r.form);
         assert!(net.equivalent_to(&f, 0));
         assert!(net.depth() <= 3, "SPP networks are at most three levels, got {}", net.depth());
@@ -164,7 +164,7 @@ mod tests {
     fn multi_output_netlist_shares_terms() {
         let f0 = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
         let f1 = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1 || x == 0);
-        let multi = minimize_spp_multi(&[f0.clone(), f1.clone()], &SppOptions::default());
+        let multi = MultiMinimizer::new(&[f0.clone(), f1.clone()]).run().unwrap();
         let net = Netlist::from_spp_forms(&multi.forms);
         assert!(net.equivalent_to(&f0, 0));
         assert!(net.equivalent_to(&f1, 1));

@@ -156,7 +156,7 @@ impl Netlist {
 mod tests {
     use super::*;
     use spp_boolfn::BoolFn;
-    use spp_core::{minimize_spp_exact, SppOptions};
+    use spp_core::Minimizer;
 
     fn sample_net() -> Netlist {
         // f = (x0 ⊕ x1 ⊕ x2) · x̄3
@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn emitters_cover_minimized_forms() {
         let f = BoolFn::from_truth_fn(3, |x| x != 0 && x != 7);
-        let form = minimize_spp_exact(&f, &SppOptions::default()).form;
+        let form = Minimizer::new(&f).run_exact().form;
         let net = Netlist::from_spp_form(&form);
         let blif = net.to_blif("g");
         let verilog = net.to_verilog("g");

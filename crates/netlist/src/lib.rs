@@ -20,11 +20,11 @@
 //!
 //! ```
 //! use spp_boolfn::BoolFn;
-//! use spp_core::{minimize_spp_exact, SppOptions};
+//! use spp_core::Minimizer;
 //! use spp_netlist::Netlist;
 //!
 //! let f = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
-//! let form = minimize_spp_exact(&f, &SppOptions::default()).form;
+//! let form = Minimizer::new(&f).run_exact().form;
 //! let net = Netlist::from_spp_form(&form);
 //! assert_eq!(net.depth(), 1); // one EXOR gate
 //! assert!(net.equivalent_to(&f, 0));

@@ -105,7 +105,7 @@ impl Netlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spp_core::{minimize_spp_exact, SppOptions};
+    use spp_core::Minimizer;
     use spp_gf2::Gf2Vec;
 
     #[test]
@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn fast_equivalence_agrees_with_slow() {
         let f = spp_boolfn::BoolFn::from_truth_fn(5, |x| x % 5 == 2 || x.count_ones() == 3);
-        let form = minimize_spp_exact(&f, &SppOptions::default()).form;
+        let form = Minimizer::new(&f).run_exact().form;
         let net = Netlist::from_spp_form(&form);
         assert!(net.equivalent_to(&f, 0));
         assert!(net.equivalent_to_fast(&f, 0));
@@ -147,19 +147,15 @@ mod tests {
     fn fast_equivalence_spans_multiple_words() {
         // 7 inputs → 128 points → two 64-lane passes.
         let f = spp_boolfn::BoolFn::from_truth_fn(7, |x| (x * 37) % 8 < 3);
-        let form = minimize_spp_exact(
-            &f,
-            &SppOptions {
-                gen_limits: spp_core::GenLimits {
-                    max_pseudocubes: 5_000,
-                    max_level_size: 4_000,
-                    time_limit: None,
-                    ..spp_core::GenLimits::default()
-                },
-                ..SppOptions::default()
-            },
-        )
-        .form;
+        let form = Minimizer::new(&f)
+            .limits(
+                spp_core::GenLimits::default()
+                    .with_max_pseudocubes(5_000)
+                    .with_max_level_size(4_000)
+                    .with_time_limit(None),
+            )
+            .run_exact()
+            .form;
         let net = Netlist::from_spp_form(&form);
         assert!(net.equivalent_to_fast(&f, 0));
     }

@@ -1,0 +1,693 @@
+//! spp-obs: run control and observability for long-running minimization.
+//!
+//! The exact SPP algorithm (EPPP generation + minimum cover) is worst-case
+//! exponential, so every phase of the pipeline accepts a [`RunCtx`]: a
+//! deadline, a cooperative [`CancelToken`] and a pluggable [`EventSink`].
+//! Phases poll the context at cheap checkpoints and, on deadline or
+//! cancellation, unwind to a *valid best-so-far* result instead of hanging
+//! or panicking; the cause is recorded as an [`Outcome`].
+//!
+//! The crate is dependency-free and sits below every other workspace
+//! crate. Three sinks are provided: [`NullSink`] (the zero-overhead
+//! default), [`StderrSink`] (human one-liners) and [`JsonLinesSink`]
+//! (machine-readable JSON lines).
+//!
+//! # Examples
+//!
+//! ```
+//! use spp_obs::{CancelToken, Outcome, RunCtx};
+//!
+//! let token = CancelToken::new();
+//! let ctx = RunCtx::new().with_cancel(token.clone());
+//! assert_eq!(ctx.stop_reason(), None);
+//! token.cancel();
+//! assert_eq!(ctx.stop_reason(), Some(Outcome::Cancelled));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a run (or one phase of it) ended.
+///
+/// The variants are ordered by severity: [`Outcome::merge`] keeps the
+/// worst of two, so a pipeline can fold per-phase outcomes into one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Outcome {
+    /// The phase ran to completion (resource-budget truncation — node or
+    /// pseudocube caps — still counts as completed; see the per-phase
+    /// `truncated`/`optimal` flags for that).
+    #[default]
+    Completed,
+    /// The deadline expired; the result is the best found so far.
+    DeadlineExceeded,
+    /// The run was cancelled; the result is the best found so far.
+    Cancelled,
+}
+
+impl Outcome {
+    /// A stable lower-snake identifier (used by the JSON sink and the
+    /// benchmark baseline). Round-trips through [`Outcome::parse`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Completed => "completed",
+            Outcome::DeadlineExceeded => "deadline_exceeded",
+            Outcome::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses the identifier produced by [`Outcome::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Outcome> {
+        match s {
+            "completed" => Some(Outcome::Completed),
+            "deadline_exceeded" => Some(Outcome::DeadlineExceeded),
+            "cancelled" => Some(Outcome::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// The worse of two outcomes (`Cancelled > DeadlineExceeded >
+    /// Completed`): folding per-phase outcomes yields the run's outcome.
+    #[must_use]
+    pub fn merge(self, other: Outcome) -> Outcome {
+        self.max(other)
+    }
+
+    /// Whether this outcome is [`Outcome::Completed`].
+    #[must_use]
+    pub fn is_completed(self) -> bool {
+        self == Outcome::Completed
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A named phase of the minimization pipeline, for progress events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Phase {
+    /// Candidate generation (EPPP construction / heuristic descent+ascent).
+    Generate,
+    /// The minimum-literal set-covering step.
+    Cover,
+}
+
+impl Phase {
+    /// A stable lower-snake identifier for the JSON sink.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Generate => "generate",
+            Phase::Cover => "cover",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured progress event emitted at pipeline checkpoints.
+///
+/// Events are coarse — level and phase granularity, never per-union — so
+/// emitting them costs nothing measurable next to the work they report.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum Event {
+    /// A pipeline phase began.
+    PhaseStarted {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A pipeline phase ended.
+    PhaseFinished {
+        /// Which phase.
+        phase: Phase,
+        /// Wall-clock time the phase took.
+        wall: Duration,
+        /// How the phase ended.
+        outcome: Outcome,
+    },
+    /// A generation level (one pseudocube degree) began its union sweep.
+    GenLevelStarted {
+        /// The degree `k` being swept.
+        degree: usize,
+        /// `|X^k|`: pseudocubes at this degree.
+        size: usize,
+    },
+    /// A generation level finished its union sweep.
+    GenLevelFinished {
+        /// The degree `k` swept.
+        degree: usize,
+        /// `|X^k|`: pseudocubes at this degree.
+        size: usize,
+        /// Structure groups found.
+        groups: usize,
+        /// Distinct unions produced (the next level's size).
+        unions: usize,
+        /// Pseudocubes of this degree retained as candidates.
+        retained: usize,
+        /// Memory-ish counter: total pseudocubes generated so far.
+        live: usize,
+        /// Wall-clock time of the level.
+        wall: Duration,
+    },
+    /// The covering step started on a rows × columns instance.
+    CoverStarted {
+        /// ON-set minterms (rows).
+        rows: usize,
+        /// Candidate pseudoproducts (columns).
+        columns: usize,
+    },
+    /// Branch & bound improved its incumbent cover.
+    CoverImproved {
+        /// Cost (literals) of the new incumbent.
+        cost: u64,
+        /// Nodes explored when it was found.
+        nodes: u64,
+    },
+    /// The covering step finished.
+    CoverFinished {
+        /// Cost (literals) of the returned cover.
+        cost: u64,
+        /// Branch & bound nodes explored (0 when only greedy ran).
+        nodes: u64,
+        /// Whether the cover was proved optimal.
+        optimal: bool,
+    },
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (no trailing newline).
+    ///
+    /// All payloads are numbers, booleans or fixed identifiers, so no
+    /// string escaping is needed.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::PhaseStarted { phase } => {
+                format!("{{\"event\":\"phase_started\",\"phase\":\"{phase}\"}}")
+            }
+            Event::PhaseFinished { phase, wall, outcome } => format!(
+                "{{\"event\":\"phase_finished\",\"phase\":\"{phase}\",\
+                 \"wall_ms\":{:.3},\"outcome\":\"{outcome}\"}}",
+                wall.as_secs_f64() * 1e3
+            ),
+            Event::GenLevelStarted { degree, size } => format!(
+                "{{\"event\":\"gen_level_started\",\"degree\":{degree},\"size\":{size}}}"
+            ),
+            Event::GenLevelFinished { degree, size, groups, unions, retained, live, wall } => {
+                format!(
+                    "{{\"event\":\"gen_level_finished\",\"degree\":{degree},\"size\":{size},\
+                     \"groups\":{groups},\"unions\":{unions},\"retained\":{retained},\
+                     \"live\":{live},\"wall_ms\":{:.3}}}",
+                    wall.as_secs_f64() * 1e3
+                )
+            }
+            Event::CoverStarted { rows, columns } => format!(
+                "{{\"event\":\"cover_started\",\"rows\":{rows},\"columns\":{columns}}}"
+            ),
+            Event::CoverImproved { cost, nodes } => format!(
+                "{{\"event\":\"cover_improved\",\"cost\":{cost},\"nodes\":{nodes}}}"
+            ),
+            Event::CoverFinished { cost, nodes, optimal } => format!(
+                "{{\"event\":\"cover_finished\",\"cost\":{cost},\"nodes\":{nodes},\
+                 \"optimal\":{optimal}}}"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    /// The human-readable one-liner the [`StderrSink`] prints.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::PhaseStarted { phase } => write!(f, "{phase}: started"),
+            Event::PhaseFinished { phase, wall, outcome } => {
+                write!(f, "{phase}: finished in {:.1} ms ({outcome})", wall.as_secs_f64() * 1e3)
+            }
+            Event::GenLevelStarted { degree, size } => {
+                write!(f, "generate: level {degree} started ({size} pseudocubes)")
+            }
+            Event::GenLevelFinished { degree, size, groups, unions, retained, live, wall } => {
+                write!(
+                    f,
+                    "generate: level {degree} done — {size} pseudocubes in {groups} groups, \
+                     {unions} unions, {retained} retained, {live} generated total, {:.1} ms",
+                    wall.as_secs_f64() * 1e3
+                )
+            }
+            Event::CoverStarted { rows, columns } => {
+                write!(f, "cover: {rows} minterms x {columns} candidates")
+            }
+            Event::CoverImproved { cost, nodes } => {
+                write!(f, "cover: incumbent improved to {cost} literals at {nodes} nodes")
+            }
+            Event::CoverFinished { cost, nodes, optimal } => write!(
+                f,
+                "cover: done — {cost} literals after {nodes} nodes{}",
+                if *optimal { " (optimal)" } else { " (upper bound)" }
+            ),
+        }
+    }
+}
+
+/// A destination for progress [`Event`]s. Implementations must be cheap
+/// and non-blocking-ish: sinks are called from the main minimization
+/// thread at phase/level checkpoints.
+pub trait EventSink: Send + Sync {
+    /// Delivers one event.
+    fn emit(&self, event: &Event);
+}
+
+/// The default sink: drops every event. Dispatch through it is a single
+/// virtual call on an event that was already built, so the run-control
+/// overhead of an unobserved run stays unmeasurable.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Human-oriented sink: one `spp: <event>` line per event on stderr.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        eprintln!("spp: {event}");
+    }
+}
+
+/// Machine-oriented sink: one JSON object per line, written (and flushed)
+/// to the wrapped writer.
+///
+/// # Examples
+///
+/// ```
+/// use spp_obs::{Event, EventSink, JsonLinesSink};
+///
+/// let sink = JsonLinesSink::new(Vec::new());
+/// sink.emit(&Event::CoverImproved { cost: 12, nodes: 400 });
+/// let bytes = sink.into_inner();
+/// assert_eq!(
+///     String::from_utf8(bytes).unwrap(),
+///     "{\"event\":\"cover_improved\",\"cost\":12,\"nodes\":400}\n"
+/// );
+/// ```
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer. Each event becomes one flushed JSON line.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out: Mutex::new(out) }
+    }
+
+    /// Unwraps the inner writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous `emit` panicked while holding the lock.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().expect("event sink poisoned")
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonLinesSink<W> {
+    /// Writes the event; I/O errors are ignored (progress reporting must
+    /// never fail the run).
+    fn emit(&self, event: &Event) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = writeln!(out, "{}", event.to_json());
+            let _ = out.flush();
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Checkpoint fuse: `< 0` means disarmed; otherwise the number of
+    /// *counted* checkpoints still allowed before the token trips.
+    fuse: AtomicI64,
+}
+
+/// A cloneable cooperative cancellation token.
+///
+/// Cancellation is cooperative: phases poll [`CancelToken::is_cancelled`]
+/// at cheap intervals and unwind to their best-so-far result. Cloning is a
+/// reference-count bump; all clones share one flag, so any clone can
+/// cancel the run from another thread.
+///
+/// For deterministic testing, [`CancelToken::cancel_after_checkpoints`]
+/// arms a fuse that trips after a fixed number of *counted* checkpoints —
+/// the coarse, main-thread polls done through [`RunCtx::checkpoint`] —
+/// making the trip point independent of wall-clock time and thread count.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<CancelInner>);
+
+impl CancelToken {
+    /// A fresh token that only trips when [`CancelToken::cancel`] is
+    /// called.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken(Arc::new(CancelInner {
+            cancelled: AtomicBool::new(false),
+            fuse: AtomicI64::new(-1),
+        }))
+    }
+
+    /// A token that trips at the `n`-th counted checkpoint (`n = 0` trips
+    /// at the very first one). Counted checkpoints happen at deterministic
+    /// points — once per generation level, once per heuristic descent
+    /// step, once before covering — so a run cancelled this way stops at
+    /// the same place at any thread count.
+    #[must_use]
+    pub fn cancel_after_checkpoints(n: u64) -> Self {
+        let n = i64::try_from(n).unwrap_or(i64::MAX);
+        CancelToken(Arc::new(CancelInner {
+            cancelled: AtomicBool::new(false),
+            fuse: AtomicI64::new(n),
+        }))
+    }
+
+    /// Requests cancellation: every holder of a clone observes it at its
+    /// next poll.
+    pub fn cancel(&self) {
+        self.0.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested. A plain relaxed atomic
+    /// load — safe to poll from hot loops at a sampling interval.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Consumes one counted checkpoint (see
+    /// [`CancelToken::cancel_after_checkpoints`]); trips the token when
+    /// the fuse reaches zero. No-op for disarmed tokens.
+    fn tick(&self) {
+        if self.0.fuse.load(Ordering::Relaxed) >= 0
+            && self.0.fuse.fetch_sub(1, Ordering::Relaxed) <= 0
+        {
+            self.cancel();
+        }
+    }
+}
+
+/// The run-control context threaded through every pipeline phase: an
+/// optional deadline, a [`CancelToken`] and an [`EventSink`].
+///
+/// `RunCtx` is cheap to clone (two `Arc` bumps and a copy) and designed
+/// to be passed by reference into phases, which poll it at checkpoints.
+/// The default context never stops anything and drops all events —
+/// exactly the pre-run-control behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use spp_obs::{Outcome, RunCtx};
+///
+/// let ctx = RunCtx::new().with_deadline_in(Duration::ZERO);
+/// assert_eq!(ctx.stop_reason(), Some(Outcome::DeadlineExceeded));
+/// ```
+#[derive(Clone)]
+#[non_exhaustive]
+pub struct RunCtx {
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    sink: Arc<dyn EventSink>,
+}
+
+impl Default for RunCtx {
+    fn default() -> Self {
+        RunCtx { deadline: None, cancel: CancelToken::new(), sink: Arc::new(NullSink) }
+    }
+}
+
+impl fmt::Debug for RunCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunCtx")
+            .field("deadline", &self.deadline)
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunCtx {
+    /// A context with no deadline, a fresh token and the null sink.
+    #[must_use]
+    pub fn new() -> Self {
+        RunCtx::default()
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline `budget` from now.
+    #[must_use]
+    pub fn with_deadline_in(self, budget: Duration) -> Self {
+        self.with_deadline_at(Instant::now() + budget)
+    }
+
+    /// Installs a cancellation token (replacing the context's own).
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Installs an event sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Tightens the deadline to `min(current, other)`; `None` leaves it
+    /// unchanged. Phases use this to fold per-phase time budgets into the
+    /// session deadline.
+    #[must_use]
+    pub fn cap_deadline(mut self, other: Option<Instant>) -> Self {
+        self.deadline = match (self.deadline, other) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+
+    /// The effective deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline has passed. Samples the clock — poll at an
+    /// interval, not per inner-loop iteration.
+    #[must_use]
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether cancellation has been requested (relaxed atomic load).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Why the run should stop, if it should: cancellation wins over the
+    /// deadline. Does not consume a counted checkpoint.
+    #[must_use]
+    pub fn stop_reason(&self) -> Option<Outcome> {
+        if self.is_cancelled() {
+            Some(Outcome::Cancelled)
+        } else if self.deadline_exceeded() {
+            Some(Outcome::DeadlineExceeded)
+        } else {
+            None
+        }
+    }
+
+    /// A *counted* checkpoint: consumes one tick of an armed
+    /// [`CancelToken::cancel_after_checkpoints`] fuse, then reports the
+    /// stop reason. Phases call this at deterministic coarse points (level
+    /// boundaries), never from worker threads, so the counted trip point
+    /// is reproducible at any thread count.
+    #[must_use]
+    pub fn checkpoint(&self) -> Option<Outcome> {
+        self.cancel.tick();
+        self.stop_reason()
+    }
+
+    /// Emits a progress event to the sink.
+    pub fn emit(&self, event: Event) {
+        self.sink.emit(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_merge_keeps_the_worst() {
+        use Outcome::{Cancelled, Completed, DeadlineExceeded};
+        assert_eq!(Completed.merge(Completed), Completed);
+        assert_eq!(Completed.merge(DeadlineExceeded), DeadlineExceeded);
+        assert_eq!(DeadlineExceeded.merge(Cancelled), Cancelled);
+        assert_eq!(Cancelled.merge(Completed), Cancelled);
+    }
+
+    #[test]
+    fn outcome_round_trips_through_strings() {
+        for o in [Outcome::Completed, Outcome::DeadlineExceeded, Outcome::Cancelled] {
+            assert_eq!(Outcome::parse(o.as_str()), Some(o));
+            assert_eq!(o.to_string(), o.as_str());
+        }
+        assert_eq!(Outcome::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn default_ctx_never_stops() {
+        let ctx = RunCtx::new();
+        assert_eq!(ctx.stop_reason(), None);
+        assert_eq!(ctx.checkpoint(), None);
+        assert!(!ctx.deadline_exceeded());
+        assert!(!ctx.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_is_shared_between_clones() {
+        let token = CancelToken::new();
+        let ctx = RunCtx::new().with_cancel(token.clone());
+        let ctx2 = ctx.clone();
+        assert!(!ctx2.is_cancelled());
+        token.cancel();
+        assert!(ctx.is_cancelled());
+        assert!(ctx2.is_cancelled());
+        assert_eq!(ctx.stop_reason(), Some(Outcome::Cancelled));
+    }
+
+    #[test]
+    fn cancel_wins_over_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx =
+            RunCtx::new().with_cancel(token).with_deadline_in(Duration::ZERO);
+        assert_eq!(ctx.stop_reason(), Some(Outcome::Cancelled));
+    }
+
+    #[test]
+    fn checkpoint_fuse_trips_deterministically() {
+        let token = CancelToken::cancel_after_checkpoints(2);
+        let ctx = RunCtx::new().with_cancel(token);
+        assert_eq!(ctx.checkpoint(), None); // 1st counted checkpoint
+        assert_eq!(ctx.checkpoint(), None); // 2nd
+        assert_eq!(ctx.checkpoint(), Some(Outcome::Cancelled)); // trips
+        assert_eq!(ctx.checkpoint(), Some(Outcome::Cancelled)); // stays
+    }
+
+    #[test]
+    fn uncounted_polls_do_not_consume_the_fuse() {
+        let token = CancelToken::cancel_after_checkpoints(1);
+        let ctx = RunCtx::new().with_cancel(token);
+        for _ in 0..100 {
+            assert!(!ctx.is_cancelled());
+            assert_eq!(ctx.stop_reason(), None);
+        }
+        assert_eq!(ctx.checkpoint(), None);
+        assert_eq!(ctx.checkpoint(), Some(Outcome::Cancelled));
+    }
+
+    #[test]
+    fn deadline_capping_takes_the_minimum() {
+        let now = Instant::now();
+        let near = now + Duration::from_millis(1);
+        let far = now + Duration::from_secs(3600);
+        let ctx = RunCtx::new().with_deadline_at(far).cap_deadline(Some(near));
+        assert_eq!(ctx.deadline(), Some(near));
+        let ctx = RunCtx::new().with_deadline_at(near).cap_deadline(Some(far));
+        assert_eq!(ctx.deadline(), Some(near));
+        let ctx = RunCtx::new().cap_deadline(Some(near));
+        assert_eq!(ctx.deadline(), Some(near));
+        let ctx = RunCtx::new().cap_deadline(None);
+        assert_eq!(ctx.deadline(), None);
+    }
+
+    #[test]
+    fn zero_deadline_reports_deadline_exceeded() {
+        let ctx = RunCtx::new().with_deadline_in(Duration::ZERO);
+        assert!(ctx.deadline_exceeded());
+        assert_eq!(ctx.stop_reason(), Some(Outcome::DeadlineExceeded));
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.emit(&Event::PhaseStarted { phase: Phase::Generate });
+        sink.emit(&Event::GenLevelStarted { degree: 0, size: 42 });
+        sink.emit(&Event::CoverFinished { cost: 7, nodes: 19, optimal: true });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"phase_started\""));
+        assert!(lines[1].contains("\"degree\":0"));
+        assert!(lines[2].contains("\"optimal\":true"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn event_display_is_human_readable() {
+        let e = Event::GenLevelFinished {
+            degree: 2,
+            size: 10,
+            groups: 3,
+            unions: 12,
+            retained: 4,
+            live: 22,
+            wall: Duration::from_millis(5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("level 2"));
+        assert!(s.contains("12 unions"));
+        let s = Event::PhaseFinished {
+            phase: Phase::Cover,
+            wall: Duration::from_millis(1),
+            outcome: Outcome::DeadlineExceeded,
+        }
+        .to_string();
+        assert!(s.contains("cover"));
+        assert!(s.contains("deadline_exceeded"));
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(Phase::Generate.as_str(), "generate");
+        assert_eq!(Phase::Cover.to_string(), "cover");
+    }
+}

@@ -6,7 +6,7 @@
 //! ```
 
 use spp::benchgen::registry;
-use spp::core::{minimize_spp_exact, SppOptions};
+use spp::core::Minimizer;
 use spp::sp::minimize_sp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,7 +14,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{adr4} — {}", adr4.description());
     println!();
 
-    let options = SppOptions::default();
     let mut sp_total = 0u64;
     let mut spp_total = 0u64;
     for j in 0..adr4.outputs().len() {
@@ -22,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // paper minimizes each PLA output separately.
         let f = adr4.output_on_support(j);
         let sp = minimize_sp(&f, &spp::cover::Limits::default());
-        let spp = minimize_spp_exact(&f, &options);
+        let spp = Minimizer::new(&f).run_exact();
         spp.form.check_realizes(&f)?;
         sp_total += sp.literal_count();
         spp_total += spp.literal_count();

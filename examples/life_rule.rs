@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use spp::benchgen::registry;
-use spp::core::{minimize_spp_heuristic, SppOptions};
+use spp::core::Minimizer;
 use spp::sp::minimize_sp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,11 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("{:>3} {:>10} {:>12} {:>12}", "k", "SPP_k #L", "candidates", "time s");
 
-    let options = SppOptions::default();
+    let session = Minimizer::new(&f);
     let mut best = None;
     for k in 0..4 {
         let start = Instant::now();
-        let r = minimize_spp_heuristic(&f, k, &options);
+        let r = session.run_heuristic(k)?;
         r.form.check_realizes(&f)?;
         println!(
             "{k:>3} {:>10} {:>12} {:>12.3}",

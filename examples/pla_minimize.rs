@@ -8,7 +8,7 @@
 //! Without an argument a small built-in PLA (a 2-bit comparator) is used.
 
 use spp::boolfn::Pla;
-use spp::core::{minimize_spp_exact, SppOptions};
+use spp::core::Minimizer;
 use spp::sp::minimize_sp;
 
 const SAMPLE: &str = "\
@@ -51,7 +51,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pla.num_terms()
     );
 
-    let options = SppOptions::default();
     for (j, f) in pla.output_fns().iter().enumerate() {
         let label = pla
             .output_labels()
@@ -59,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .cloned()
             .unwrap_or_else(|| format!("out{j}"));
         let sp = minimize_sp(f, &spp::cover::Limits::default());
-        let spp = minimize_spp_exact(f, &options);
+        let spp = Minimizer::new(f).run_exact();
         spp.form.check_realizes(f)?;
         println!();
         println!("{label}: SP {} literals, SPP {} literals", sp.literal_count(), spp.literal_count());

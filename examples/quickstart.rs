@@ -5,7 +5,7 @@
 //! ```
 
 use spp::boolfn::BoolFn;
-use spp::core::{minimize_spp_exact, SppOptions};
+use spp::core::Minimizer;
 use spp::sp::minimize_sp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SP  form: {}  ({} literals)", sp.form, sp.literal_count());
 
     // Three-level SPP minimization (Ciriani, DAC 2001).
-    let spp = minimize_spp_exact(&f, &SppOptions::default());
+    let spp = Minimizer::new(&f).run_exact();
     println!("SPP form: {}  ({} literals)", spp.form, spp.literal_count());
 
     // Both forms realize f; the SPP form is half the size.

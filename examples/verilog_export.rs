@@ -6,7 +6,7 @@
 //! ```
 
 use spp::benchgen::registry;
-use spp::core::{minimize_spp_multi, SppOptions};
+use spp::core::MultiMinimizer;
 use spp::netlist::Netlist;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adr4 = registry::circuit("adr4").expect("adr4 is registered");
     let outputs: Vec<_> = adr4.outputs()[..3].to_vec();
 
-    let r = minimize_spp_multi(&outputs, &SppOptions::default());
+    let r = MultiMinimizer::new(&outputs).run()?;
     for (form, f) in r.forms.iter().zip(&outputs) {
         form.check_realizes(f)?;
     }

@@ -4,8 +4,9 @@
 #   scripts/ci.sh
 #
 # Runs the offline-friendly default build (no criterion), the full test
-# suite, clippy with warnings denied, and a compile check of the
-# feature-gated Criterion bench targets.
+# suite, clippy and rustdoc with warnings denied, a compile check of the
+# feature-gated Criterion bench targets, and a CLI smoke of the
+# deadline-degradation path.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,7 +20,14 @@ cargo test --workspace -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied, workspace crates only)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
+  --exclude criterion --exclude proptest --exclude rand
+
 echo "==> cargo check benches (criterion-benches feature)"
 cargo check -p spp-bench --benches --features criterion-benches
+
+echo "==> CLI deadline smoke (--deadline-ms 1 must degrade, not break)"
+./target/release/spp bench life --deadline-ms 1 --quiet | grep -q "deadline_exceeded"
 
 echo "ci: all gates passed"

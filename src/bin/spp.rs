@@ -6,23 +6,30 @@
 //! spp list                              list built-in benchmarks
 //!
 //! options:
-//!   --sp              two-level SP minimization instead of SPP
-//!   --2spp            restrict EXOR factors to two literals
-//!   --heuristic <k>   use the SPP_k heuristic instead of the exact algorithm
-//!   --multi           multi-output minimization with shared pseudoproducts
-//!   --threads <n>     worker threads (default: SPP_THREADS env var, else
-//!                     all cores; 1 = the sequential code path)
-//!   --verilog <mod>   print a structural Verilog module
-//!   --blif <model>    print a BLIF model
-//!   --quiet           only print the summary line
+//!   --sp               two-level SP minimization instead of SPP
+//!   --2spp             restrict EXOR factors to two literals
+//!   --heuristic <k>    use the SPP_k heuristic instead of the exact algorithm
+//!   --multi            multi-output minimization with shared pseudoproducts
+//!   --threads <n>      worker threads; wins over the SPP_THREADS env var
+//!                      (default: SPP_THREADS, else all cores; 1 = the
+//!                      sequential code path)
+//!   --deadline-ms <t>  wall-clock budget for the whole run; on expiry every
+//!                      phase unwinds to a valid best-so-far form
+//!   --progress         print progress events (levels, covers) to stderr
+//!   --events-json <f>  append progress events to <f> as JSON lines
+//!   --verilog <mod>    print a structural Verilog module
+//!   --blif <model>     print a BLIF model
+//!   --quiet            only print the summary line
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use spp::boolfn::{BoolFn, Pla};
 use spp::core::{
-    minimize_2spp, minimize_spp_exact, minimize_spp_heuristic, minimize_spp_multi, SppForm,
-    SppOptions,
+    Event, EventSink, JsonLinesSink, Minimizer, MultiMinimizer, Outcome, SppForm, SppOptions,
+    StderrSink,
 };
 use spp::netlist::Netlist;
 use spp::sp::minimize_sp;
@@ -33,17 +40,32 @@ struct Options {
     heuristic: Option<usize>,
     multi: bool,
     threads: Option<usize>,
+    deadline_ms: Option<u64>,
+    progress: bool,
+    events_json: Option<String>,
     verilog: Option<String>,
     blif: Option<String>,
     quiet: bool,
+}
+
+/// Forwards each event to both sinks (`--progress` + `--events-json`).
+struct TeeSink(Arc<dyn EventSink>, Arc<dyn EventSink>);
+
+impl EventSink for TeeSink {
+    fn emit(&self, event: &Event) {
+        self.0.emit(event);
+        self.1.emit(event);
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spp <minimize file.pla | bench name | list> \
          [--sp] [--2spp] [--heuristic k] [--multi] [--threads n] \
+         [--deadline-ms t] [--progress] [--events-json file] \
          [--verilog module] [--blif model] [--quiet]\n\
-         worker threads default to the SPP_THREADS env var, else all cores"
+         worker threads default to the SPP_THREADS env var, else all cores; \
+         --threads wins over SPP_THREADS"
     );
     ExitCode::FAILURE
 }
@@ -60,6 +82,9 @@ fn main() -> ExitCode {
         heuristic: None,
         multi: false,
         threads: None,
+        deadline_ms: None,
+        progress: false,
+        events_json: None,
         verilog: None,
         blif: None,
         quiet: false,
@@ -78,6 +103,15 @@ fn main() -> ExitCode {
             },
             "--threads" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => options.threads = Some(n),
+                None => return usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => options.deadline_ms = Some(t),
+                None => return usage(),
+            },
+            "--progress" => options.progress = true,
+            "--events-json" => match it.next() {
+                Some(f) => options.events_json = Some(f.clone()),
                 None => return usage(),
             },
             "--verilog" => match it.next() {
@@ -147,15 +181,90 @@ fn main() -> ExitCode {
     }
 }
 
+/// The sink requested on the command line, if any.
+fn build_sink(options: &Options) -> Result<Option<Arc<dyn EventSink>>, String> {
+    let json: Option<Arc<dyn EventSink>> = match &options.events_json {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {path}: {e}"))?;
+            Some(Arc::new(JsonLinesSink::new(file)))
+        }
+        None => None,
+    };
+    let stderr: Option<Arc<dyn EventSink>> =
+        if options.progress { Some(Arc::new(StderrSink)) } else { None };
+    Ok(match (json, stderr) {
+        (Some(a), Some(b)) => Some(Arc::new(TeeSink(a, b))),
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    })
+}
+
+/// The status suffix of a summary line: silent on an optimal complete run
+/// (keeping the historical output stable), `[upper bound]` on budget
+/// truncation, and the outcome name when a deadline or cancellation cut
+/// the run short.
+fn status_suffix(outcome: Outcome, optimal: bool) -> String {
+    match outcome {
+        Outcome::Completed if optimal => String::new(),
+        Outcome::Completed => " [upper bound]".to_owned(),
+        other => format!(" [{}]", other.as_str()),
+    }
+}
+
 fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
-    let mut spp_options = SppOptions::default();
-    if let Some(n) = options.threads {
-        spp_options.gen_limits.parallelism = spp::core::Parallelism::fixed(n);
+    let spp_options = SppOptions::default();
+    let sink = match build_sink(options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("spp: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // One absolute deadline for the whole invocation, shared by every
+    // output's session.
+    let deadline_at =
+        options.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    fn configure<'f>(
+        f: &'f BoolFn,
+        spp_options: &SppOptions,
+        threads: Option<usize>,
+        deadline_at: Option<Instant>,
+        sink: &Option<Arc<dyn EventSink>>,
+    ) -> Minimizer<'f> {
+        let mut m = Minimizer::new(f).options(spp_options.clone());
+        if let Some(n) = threads {
+            m = m.threads(n);
+        }
+        if let Some(at) = deadline_at {
+            m = m.deadline_at(at);
+        }
+        if let Some(sink) = sink {
+            m = m.on_event(sink.clone());
+        }
+        m
     }
     let mut forms: Vec<SppForm> = Vec::new();
 
     if options.multi {
-        let r = minimize_spp_multi(outputs, &spp_options);
+        let mut session = MultiMinimizer::new(outputs).options(spp_options.clone());
+        if let Some(n) = options.threads {
+            session = session.threads(n);
+        }
+        if let Some(ms) = options.deadline_ms {
+            session = session.deadline(Duration::from_millis(ms));
+        }
+        if let Some(sink) = &sink {
+            session = session.on_event(sink.clone());
+        }
+        let r = match session.run() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("spp: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         for (form, f) in r.forms.iter().zip(outputs) {
             if let Err(e) = form.check_realizes(f) {
                 eprintln!("spp: internal verification failed: {e}");
@@ -168,28 +277,39 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
             r.shared_terms.len(),
             r.shared_literal_count,
             r.separate_literal_count(),
-            if r.optimal { "" } else { " [upper bound]" }
+            status_suffix(r.outcome, r.optimal)
         );
         forms = r.forms;
     } else {
         for (f, label) in outputs.iter().zip(labels) {
-            let (form, tag, optimal) = if options.sp {
+            let session = configure(f, &spp_options, options.threads, deadline_at, &sink);
+            let (form, tag, optimal, outcome) = if options.sp {
                 let r = minimize_sp(f, &spp_options.cover_limits);
                 let form = SppForm::new(
                     f.num_vars(),
                     r.form.cubes().iter().map(spp::core::Pseudocube::from_cube).collect(),
                 );
-                (form, "SP", r.optimal)
+                (form, "SP", r.optimal, Outcome::Completed)
             } else if options.two_spp {
-                let r = minimize_2spp(f, &spp_options);
-                (r.form.clone(), "2-SPP", r.optimal)
+                match session.run_restricted(2) {
+                    Ok(r) => (r.form.clone(), "2-SPP", r.optimal, r.outcome),
+                    Err(e) => {
+                        eprintln!("spp: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             } else if let Some(k) = options.heuristic {
                 let k = k.min(f.num_vars().saturating_sub(1));
-                let r = minimize_spp_heuristic(f, k, &spp_options);
-                (r.form.clone(), "SPP_k", r.optimal)
+                match session.run_heuristic(k) {
+                    Ok(r) => (r.form.clone(), "SPP_k", r.optimal, r.outcome),
+                    Err(e) => {
+                        eprintln!("spp: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             } else {
-                let r = minimize_spp_exact(f, &spp_options);
-                (r.form.clone(), "SPP", r.optimal)
+                let r = session.run_exact();
+                (r.form.clone(), "SPP", r.optimal, r.outcome)
             };
             if let Err(e) = form.check_realizes(f) {
                 eprintln!("spp: internal verification failed: {e}");
@@ -199,7 +319,7 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
                 "{label}: {tag} {} literals, {} terms{}",
                 form.literal_count(),
                 form.num_pseudoproducts(),
-                if optimal { "" } else { " [upper bound]" }
+                status_suffix(outcome, optimal)
             );
             if !options.quiet {
                 println!("  {form}");

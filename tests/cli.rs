@@ -110,6 +110,84 @@ fn bad_usage_fails() {
 }
 
 #[test]
+fn deadline_flag_degrades_gracefully() {
+    // An already-expired deadline: the run must still exit successfully
+    // with a verified best-so-far form (verification failure would exit
+    // non-zero) and report the outcome on the summary line.
+    let out = spp()
+        .arg("bench")
+        .arg("life")
+        .arg("--deadline-ms")
+        .arg("0")
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[deadline_exceeded]"), "{text}");
+}
+
+#[test]
+fn progress_flag_prints_events_to_stderr() {
+    let path = write_pla("xor-progress", ".i 2\n.o 1\n01 1\n10 1\n.e\n");
+    let out = spp()
+        .arg("minimize")
+        .arg(&path)
+        .arg("--progress")
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("spp: "), "{err}");
+    assert!(err.contains("generate"), "{err}");
+    // The summary line itself is untouched by run control.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SPP 2 literals, 1 terms"), "{text}");
+}
+
+#[test]
+fn events_json_flag_writes_a_jsonl_trace() {
+    let path = write_pla("xor-events", ".i 2\n.o 1\n01 1\n10 1\n.e\n");
+    let trace = std::env::temp_dir().join("spp-cli-test-events.jsonl");
+    let out = spp()
+        .arg("minimize")
+        .arg(&path)
+        .arg("--events-json")
+        .arg(&trace)
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(body.lines().count() >= 2, "{body}");
+    for line in body.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON line: {line}");
+    }
+    assert!(body.contains("\"phase_finished\""), "{body}");
+    assert!(body.contains("\"outcome\":\"completed\""), "{body}");
+}
+
+#[test]
+fn threads_flag_wins_over_env() {
+    // SPP_THREADS asks for 4 workers; --threads 1 must take precedence
+    // (results are thread-invariant, so success + identical output to the
+    // sequential default is the observable).
+    let path = write_pla("xor-threads", ".i 2\n.o 1\n01 1\n10 1\n.e\n");
+    let with_flag = spp()
+        .arg("minimize")
+        .arg(&path)
+        .arg("--threads")
+        .arg("1")
+        .env("SPP_THREADS", "4")
+        .output()
+        .expect("binary runs");
+    assert!(with_flag.status.success());
+    let plain = spp().arg("minimize").arg(&path).output().expect("binary runs");
+    assert_eq!(with_flag.stdout, plain.stdout);
+}
+
+#[test]
 fn multi_flag_reports_sharing() {
     let path = write_pla(
         "multi",

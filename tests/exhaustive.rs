@@ -3,7 +3,7 @@
 //! true minimum-literal SPP cover with the exact covering solver, and
 //! check the library's Algorithm 2 pipeline reaches the same optimum.
 
-use spp::core::{generate_eppp, minimize_spp_exact, GenLimits, Grouping, Pseudocube, SppOptions};
+use spp::core::{Grouping, Minimizer, Pseudocube, SppOptions};
 use spp::cover::{solve_exact, CoverProblem, Limits};
 use spp::gf2::Gf2Vec;
 use spp::prelude::*;
@@ -58,13 +58,14 @@ fn brute_force_optimum(f: &BoolFn) -> u64 {
 #[test]
 fn algorithm2_reaches_the_true_optimum_on_all_3var_functions() {
     // All 255 non-zero functions on 3 variables.
-    let options = SppOptions {
-        cover_limits: Limits { max_nodes: u64::MAX, time_limit: None, max_exact_columns: usize::MAX },
-        ..SppOptions::default()
-    };
+    let options = SppOptions::default().with_cover_limits(Limits {
+        max_nodes: u64::MAX,
+        time_limit: None,
+        max_exact_columns: usize::MAX,
+    });
     for tt in 1u16..=255 {
         let f = BoolFn::from_truth_fn(3, |x| tt >> x & 1 == 1);
-        let ours = minimize_spp_exact(&f, &options);
+        let ours = Minimizer::new(&f).options(options.clone()).run_exact();
         assert!(ours.optimal, "tt={tt:#010b} must solve exactly");
         let truth = brute_force_optimum(&f);
         // The tautology is the empty pseudoproduct: cover cost is clamped
@@ -79,10 +80,11 @@ fn algorithm2_reaches_the_true_optimum_on_all_3var_functions() {
 
 #[test]
 fn algorithm2_reaches_the_true_optimum_on_sampled_4var_functions() {
-    let options = SppOptions {
-        cover_limits: Limits { max_nodes: u64::MAX, time_limit: None, max_exact_columns: usize::MAX },
-        ..SppOptions::default()
-    };
+    let options = SppOptions::default().with_cover_limits(Limits {
+        max_nodes: u64::MAX,
+        time_limit: None,
+        max_exact_columns: usize::MAX,
+    });
     // A deterministic sample of 4-variable functions with ≤ 9 minterms
     // (brute force enumerates subsets of the ON-set).
     let mut seed = 0x1234_5678_9abc_def0u64;
@@ -97,7 +99,7 @@ fn algorithm2_reaches_the_true_optimum_on_sampled_4var_functions() {
             continue;
         }
         tried += 1;
-        let ours = minimize_spp_exact(&f, &options);
+        let ours = Minimizer::new(&f).options(options.clone()).run_exact();
         assert!(ours.optimal);
         let ours_cost: u64 = ours.form.terms().iter().map(|t| t.literal_count().max(1)).sum();
         assert_eq!(ours_cost, brute_force_optimum(&f), "tt={tt:#018b}");
@@ -111,7 +113,7 @@ fn eppp_set_dominates_every_pseudocube() {
     // the covering to EPPPs loses nothing.
     for tt in [0x96u16, 0x3C, 0xE8, 0x57, 0xAB] {
         let f = BoolFn::from_truth_fn(3, |x| tt >> x & 1 == 1);
-        let eppp = generate_eppp(&f, Grouping::PartitionTrie, &GenLimits::default());
+        let eppp = Minimizer::new(&f).grouping(Grouping::PartitionTrie).generate();
         for pc in all_pseudocubes_within(&f) {
             let dominated = eppp
                 .pseudocubes
@@ -135,12 +137,9 @@ fn generation_finds_exactly_the_pseudocubes_of_f() {
         let f = BoolFn::from_truth_fn(3, |x| tt >> x & 1 == 1);
         // Re-derive the generated universe from level stats: retained is a
         // subset; instead generate with a filter that retains everything.
-        let eppp = spp::core::generate_eppp_where(
-            &f,
-            Grouping::PartitionTrie,
-            &GenLimits::default(),
-            &|_| true,
-        );
+        let eppp = Minimizer::new(&f)
+            .grouping(Grouping::PartitionTrie)
+            .generate_where(&|_| true);
         // Retained ⊆ all pseudocubes within f.
         let universe: std::collections::HashSet<Pseudocube> =
             all_pseudocubes_within(&f).into_iter().collect();

@@ -4,20 +4,16 @@
 //! minimizers changed behaviour.
 
 use spp::benchgen::registry;
-use spp::core::{minimize_spp_exact, GenLimits, SppOptions};
+use spp::core::{Minimizer, SppOptions};
 use spp::cover::Limits;
 use spp::sp::minimize_sp;
 
 fn options() -> SppOptions {
-    SppOptions {
-        gen_limits: GenLimits::default(),
-        cover_limits: Limits {
-            max_nodes: 500_000,
-            time_limit: Some(std::time::Duration::from_secs(5)),
-            max_exact_columns: 20_000,
-        },
-        ..SppOptions::default()
-    }
+    SppOptions::default().with_cover_limits(Limits {
+        max_nodes: 500_000,
+        time_limit: Some(std::time::Duration::from_secs(5)),
+        max_exact_columns: 20_000,
+    })
 }
 
 /// Paper Table 1, adr4 row (SP side): #PI = 75, #L = 340, #P = 75.
@@ -47,7 +43,7 @@ fn adr4_spp_matches_paper_exactly() {
     let mut literals = 0;
     for j in 0..c.outputs().len() {
         let f = c.output_on_support(j);
-        let r = minimize_spp_exact(&f, &options());
+        let r = Minimizer::new(&f).options(options()).run_exact();
         literals += r.literal_count();
     }
     assert_eq!(literals, 72, "paper: SPP #L = 72 (340/72 = 4.72x)");

@@ -2,7 +2,7 @@
 //! minimized form → gate network → BLIF/Verilog → (BLIF) → equivalence.
 
 use spp::benchgen::registry;
-use spp::core::{minimize_2spp, minimize_spp_exact, minimize_spp_multi, SppOptions};
+use spp::core::{Minimizer, MultiMinimizer};
 use spp::netlist::Netlist;
 use spp::sp::minimize_sp;
 
@@ -11,7 +11,7 @@ fn spp_netlists_of_benchmarks_verify_by_simulation() {
     for (name, j) in [("adr4", 2), ("root", 1), ("cmp3", 1), ("b2g5", 0), ("maj5", 0)] {
         let c = registry::circuit(name).unwrap();
         let f = c.output_on_support(j);
-        let r = minimize_spp_exact(&f, &SppOptions::default());
+        let r = Minimizer::new(&f).run_exact();
         let net = Netlist::from_spp_form(&r.form);
         assert!(net.equivalent_to_fast(&f, 0), "{name}({j})");
         assert!(net.depth() <= 3, "{name}({j}) depth {}", net.depth());
@@ -23,7 +23,7 @@ fn blif_roundtrip_preserves_benchmark_outputs() {
     for (name, j) in [("adr4", 1), ("dist", 0), ("cmp2", 1)] {
         let c = registry::circuit(name).unwrap();
         let f = c.output_on_support(j);
-        let r = minimize_spp_exact(&f, &SppOptions::default());
+        let r = Minimizer::new(&f).run_exact();
         let net = Netlist::from_spp_form(&r.form);
         let text = net.to_blif(name);
         let parsed = Netlist::from_blif(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -35,7 +35,7 @@ fn blif_roundtrip_preserves_benchmark_outputs() {
 fn two_spp_netlists_have_bounded_exor_fanin() {
     let c = registry::circuit("adr4").unwrap();
     let f = c.output_on_support(3);
-    let r = minimize_2spp(&f, &SppOptions::default());
+    let r = Minimizer::new(&f).run_restricted(2).unwrap();
     r.form.check_realizes(&f).unwrap();
     // Every EXOR factor of every term has at most 2 literals.
     for term in r.form.terms() {
@@ -53,7 +53,7 @@ fn multi_output_netlist_of_gray_converter_is_tiny() {
     // but the netlist must stay linear in n.
     let c = registry::circuit("b2g5").unwrap();
     let outputs = c.outputs().to_vec();
-    let r = minimize_spp_multi(&outputs, &SppOptions::default());
+    let r = MultiMinimizer::new(&outputs).run().unwrap();
     let net = Netlist::from_spp_forms(&r.forms);
     for (j, f) in outputs.iter().enumerate() {
         assert!(net.equivalent_to_fast(f, j), "output {j}");
@@ -67,7 +67,7 @@ fn sp_and_spp_netlists_agree_with_each_other() {
     let c = registry::circuit("mux4").unwrap();
     let f = c.output_on_support(0);
     let sp = minimize_sp(&f, &spp::cover::Limits::default());
-    let spp = minimize_spp_exact(&f, &SppOptions::default());
+    let spp = Minimizer::new(&f).run_exact();
     let sp_net = Netlist::from_sp_form(&sp.form);
     let spp_net = Netlist::from_spp_form(&spp.form);
     for x in 0..(1u64 << f.num_vars()) {
@@ -80,7 +80,7 @@ fn sp_and_spp_netlists_agree_with_each_other() {
 fn verilog_mentions_every_input_and_output() {
     let c = registry::circuit("cmp2").unwrap();
     let forms: Vec<_> = (0..3)
-        .map(|j| minimize_spp_exact(c.output(j), &SppOptions::default()).form)
+        .map(|j| Minimizer::new(c.output(j)).run_exact().form)
         .collect();
     let net = Netlist::from_spp_forms(&forms);
     let v = net.to_verilog("cmp2");

@@ -1,8 +1,6 @@
 //! Every worked example of the paper, end-to-end through the facade crate.
 
-use spp::core::{
-    minimize_spp_exact, minimize_spp_heuristic, Cex, ExorFactor, Pseudocube, SppOptions, Structure,
-};
+use spp::core::{Cex, ExorFactor, Minimizer, Pseudocube, Structure};
 use spp::gf2::Gf2Vec;
 use spp::prelude::*;
 
@@ -121,14 +119,14 @@ fn definition2_structure() {
 fn heuristic_ascendant_example() {
     // Renamed to three variables y0 = x1, y1 = x2, y2 = x4.
     let f = BoolFn::from_indices(3, &[0b011, 0b110]);
-    let r = minimize_spp_heuristic(&f, 0, &SppOptions::default());
+    let r = Minimizer::new(&f).run_heuristic(0).unwrap();
     assert_eq!(r.literal_count(), 3);
     assert_eq!(r.form.num_pseudoproducts(), 1);
     assert_eq!(r.form.terms()[0].cex().to_string(), "x1·(x0⊕x2)");
     r.form.check_realizes(&f).unwrap();
 
     // The exact algorithm agrees.
-    let e = minimize_spp_exact(&f, &SppOptions::default());
+    let e = Minimizer::new(&f).run_exact();
     assert_eq!(e.literal_count(), 3);
 }
 

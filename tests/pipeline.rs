@@ -5,10 +5,7 @@
 use std::collections::HashSet;
 
 use spp::benchgen::registry;
-use spp::core::{
-    generate_eppp, minimize_spp_exact, minimize_spp_heuristic, GenLimits, Grouping, Pseudocube,
-    SppOptions,
-};
+use spp::core::{GenLimits, Grouping, Minimizer, Pseudocube, SppOptions};
 use spp::prelude::*;
 use spp::sp::minimize_sp;
 
@@ -27,7 +24,7 @@ fn pla_to_spp_pipeline() {
 ";
     let pla: Pla = text.parse().unwrap();
     let f = pla.output_fn(0);
-    let r = minimize_spp_exact(&f, &SppOptions::default());
+    let r = Minimizer::new(&f).run_exact();
     r.form.check_realizes(&f).unwrap();
     assert_eq!(r.form.num_pseudoproducts(), 1);
     assert_eq!(r.literal_count(), 4); // (x0⊕x̄2)·(x1⊕x̄3)
@@ -40,15 +37,12 @@ fn groupings_generate_identical_eppp_sets_on_benchmarks() {
     // life's single output restricted to a slice keeps this fast.
     let life = registry::circuit("life").unwrap();
     let f = life.output(0).cofactor_slice(&[0, 1, 2, 3, 8], &spp::gf2::Gf2Vec::zeros(9));
-    let limits = GenLimits::default();
-    let trie: HashSet<_> = generate_eppp(&f, Grouping::PartitionTrie, &limits)
-        .pseudocubes
-        .into_iter()
-        .collect();
-    let hash: HashSet<_> =
-        generate_eppp(&f, Grouping::HashMap, &limits).pseudocubes.into_iter().collect();
-    let quad: HashSet<_> =
-        generate_eppp(&f, Grouping::Quadratic, &limits).pseudocubes.into_iter().collect();
+    let eppp_with = |grouping| -> HashSet<_> {
+        Minimizer::new(&f).grouping(grouping).generate().pseudocubes.into_iter().collect()
+    };
+    let trie = eppp_with(Grouping::PartitionTrie);
+    let hash = eppp_with(Grouping::HashMap);
+    let quad = eppp_with(Grouping::Quadratic);
     assert_eq!(trie, hash);
     assert_eq!(trie, quad);
 }
@@ -57,12 +51,12 @@ fn groupings_generate_identical_eppp_sets_on_benchmarks() {
 fn heuristic_full_depth_matches_exact_on_benchmark_slices() {
     let adr4 = registry::circuit("adr4").unwrap();
     let f = adr4.output_on_support(2); // 6 inputs, 32 minterms
-    let options = SppOptions::default();
-    let exact = minimize_spp_exact(&f, &options);
+    let session = Minimizer::new(&f);
+    let exact = session.run_exact();
     assert!(exact.optimal, "slice should be solvable exactly");
-    let full = minimize_spp_heuristic(&f, f.num_vars() - 1, &options);
+    let full = session.run_heuristic(f.num_vars() - 1).unwrap();
     assert_eq!(full.literal_count(), exact.literal_count());
-    let quick = minimize_spp_heuristic(&f, 0, &options);
+    let quick = session.run_heuristic(0).unwrap();
     assert!(quick.literal_count() >= exact.literal_count());
     quick.form.check_realizes(&f).unwrap();
 }
@@ -72,21 +66,18 @@ fn spp_never_exceeds_sp_even_under_tiny_budgets() {
     // Squeeze generation so hard it truncates: the SP fallback must hold
     // the "worst case SP and SPP coincide" guarantee.
     let c = registry::circuit("newtpla2").unwrap();
-    let options = SppOptions {
-        gen_limits: GenLimits {
-            max_pseudocubes: 50,
-            max_level_size: 30,
-            time_limit: None,
-            ..GenLimits::default()
-        },
-        ..SppOptions::default()
-    };
+    let options = SppOptions::default().with_gen_limits(
+        GenLimits::default()
+            .with_max_pseudocubes(50)
+            .with_max_level_size(30)
+            .with_time_limit(None),
+    );
     for j in 0..c.outputs().len() {
         let f = c.output_on_support(j);
         if f.is_zero() || f.num_vars() == 0 {
             continue;
         }
-        let spp = minimize_spp_exact(&f, &options);
+        let spp = Minimizer::new(&f).options(options.clone()).run_exact();
         spp.form.check_realizes(&f).unwrap();
         let sp = minimize_sp(&f, &options.cover_limits);
         assert!(
@@ -104,7 +95,7 @@ fn adder_sum_bits_are_pure_parities() {
     // the SPP form of output 0 must be a single 2-literal pseudoproduct.
     let adr4 = registry::circuit("adr4").unwrap();
     let f = adr4.output_on_support(0);
-    let r = minimize_spp_exact(&f, &SppOptions::default());
+    let r = Minimizer::new(&f).run_exact();
     assert_eq!(r.literal_count(), 2);
     assert_eq!(r.form.num_pseudoproducts(), 1);
 }
@@ -113,22 +104,19 @@ fn adder_sum_bits_are_pure_parities() {
 fn every_registered_benchmark_minimizes_one_output() {
     // Smoke: first output of each benchmark, under harsh budgets, must
     // produce a verified form.
-    let options = SppOptions {
-        gen_limits: GenLimits {
-            max_pseudocubes: 2_000,
-            max_level_size: 1_500,
-            time_limit: Some(std::time::Duration::from_secs(2)),
-            ..GenLimits::default()
-        },
-        ..SppOptions::default()
-    };
+    let options = SppOptions::default().with_gen_limits(
+        GenLimits::default()
+            .with_max_pseudocubes(2_000)
+            .with_max_level_size(1_500)
+            .with_time_limit(Some(std::time::Duration::from_secs(2))),
+    );
     for name in registry::ALL_NAMES {
         let c = registry::circuit(name).unwrap();
         let f = c.output_on_support(0);
         if f.is_zero() || f.num_vars() == 0 {
             continue;
         }
-        let r = minimize_spp_exact(&f, &options);
+        let r = Minimizer::new(&f).options(options.clone()).run_exact();
         r.form
             .check_realizes(&f)
             .unwrap_or_else(|e| panic!("{name}: {e}"));

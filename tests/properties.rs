@@ -2,9 +2,7 @@
 //! whole workspace through the facade.
 
 use proptest::prelude::*;
-use spp::core::{
-    minimize_spp_exact, minimize_spp_heuristic, sub_pseudocubes, Pseudocube, SppOptions,
-};
+use spp::core::{sub_pseudocubes, Minimizer, Pseudocube};
 use spp::gf2::{EchelonBasis, Gf2Vec};
 use spp::prelude::*;
 use spp::sp::{minimize_sp, prime_implicants};
@@ -117,7 +115,7 @@ proptest! {
     /// exact SP form.
     #[test]
     fn exact_spp_at_most_sp(f in small_fn()) {
-        let spp = minimize_spp_exact(&f, &SppOptions::default());
+        let spp = Minimizer::new(&f).run_exact();
         prop_assert!(spp.form.check_realizes(&f).is_ok());
         let sp = minimize_sp(&f, &spp::cover::Limits::default());
         prop_assert!(sp.form.realizes(&f));
@@ -129,11 +127,11 @@ proptest! {
     #[test]
     fn heuristic_monotone_and_exact_at_full_depth(f in small_fn()) {
         prop_assume!(!f.is_zero());
-        let options = SppOptions::default();
-        let exact = minimize_spp_exact(&f, &options);
+        let session = Minimizer::new(&f);
+        let exact = session.run_exact();
         let mut prev = u64::MAX;
         for k in 0..f.num_vars() {
-            let r = minimize_spp_heuristic(&f, k, &options);
+            let r = session.run_heuristic(k).unwrap();
             prop_assert!(r.form.check_realizes(&f).is_ok());
             prop_assert!(r.literal_count() <= prev);
             prop_assert!(r.literal_count() >= exact.literal_count());
