@@ -26,11 +26,12 @@ fn options() -> SppOptions {
                 .with_time_limit(None)
                 .with_parallelism(spp_core::Parallelism::AUTO),
         )
-        .with_cover_limits(spp_cover::Limits {
-            max_nodes: 20_000,
-            time_limit: Some(std::time::Duration::from_millis(200)),
-            max_exact_columns: 3_000,
-        })
+        .with_cover_limits(
+            spp_cover::Limits::default()
+                .with_max_nodes(20_000)
+                .with_time_limit(Some(std::time::Duration::from_millis(200)))
+                .with_max_exact_columns(3_000),
+        )
 }
 
 fn bench_exact(c: &mut Criterion) {

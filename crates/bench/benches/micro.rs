@@ -131,9 +131,58 @@ fn bench_cover(c: &mut Criterion) {
     let all: Vec<usize> = (0..64).collect();
     problem.add_column(&all, 64);
     c.bench_function("cover/greedy", |b| b.iter(|| black_box(solve_greedy(&problem))));
-    let limits = Limits { max_nodes: 20_000, ..Limits::default() };
+    let limits = Limits::default().with_max_nodes(20_000);
     c.bench_function("cover/branch_and_bound", |b| {
         b.iter(|| black_box(solve_exact(&problem, &limits, None)))
+    });
+}
+
+fn bench_bitset_kernels(c: &mut Criterion) {
+    // The word-level kernels the covering search runs per node: masked
+    // subset tests (dominance), capped intersection counts (branch-row
+    // selection) and masked unions (the disjoint-rows lower bound).
+    use spp_cover::BitSet;
+    let n = 4096;
+    let mut x = 0xDEAD_BEEF_1234_5678u64;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut random_set = |density: u64| {
+        let mut s = BitSet::new(n);
+        for i in 0..n {
+            if next() % 100 < density {
+                s.set(i, true);
+            }
+        }
+        s
+    };
+    let a = random_set(30);
+    let sub = {
+        let mut s = a.clone();
+        for i in (0..n).step_by(7) {
+            s.set(i, false);
+        }
+        s
+    };
+    let mask = random_set(80);
+    c.bench_function("bitset/is_subset_within", |b| {
+        b.iter(|| black_box(sub.is_subset_within(&a, &mask)))
+    });
+    c.bench_function("bitset/and_count_ones", |b| b.iter(|| black_box(a.and_count_ones(&mask))));
+    c.bench_function("bitset/and_count_ones_capped", |b| {
+        b.iter(|| black_box(a.and_count_ones_capped(&mask, 2)))
+    });
+    c.bench_function("bitset/first_one_in", |b| b.iter(|| black_box(a.first_one_in(&mask))));
+    let mut acc = BitSet::new(n);
+    c.bench_function("bitset/union_with_masked_scratch_reuse", |b| {
+        b.iter(|| {
+            acc.clear();
+            acc.union_with_masked(&a, &mask);
+            black_box(acc.count_ones())
+        })
     });
 }
 
@@ -143,6 +192,6 @@ criterion_group! {
         .sample_size(30)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_union, bench_cex, bench_grouping, bench_cover
+    targets = bench_union, bench_cex, bench_grouping, bench_cover, bench_bitset_kernels
 }
 criterion_main!(benches);

@@ -11,18 +11,25 @@
 //! outputs (the "additional rows" of `table2`) under three configurations
 //! — partition trie sequential, partition trie at the full worker budget,
 //! and the quadratic baseline — so a CI diff of two baselines shows both
-//! algorithmic and parallel-scaling regressions. Each entry records the
-//! generation [`spp_core::Outcome`] and the covering wall time, and the
-//! baseline's header records the worker budget that was actually used
-//! (`resolved_threads`). `--threads N` pins that budget and **wins over
-//! the `SPP_THREADS` environment variable**; with neither, the budget is
-//! the machine's available parallelism.
+//! algorithmic and parallel-scaling regressions. Configurations that
+//! resolve to the same `(name, grouping, threads)` key (e.g. the trie
+//! rows on a one-core budget) collapse into a single entry carrying the
+//! number of `runs` plus `wall_ms_min`/`wall_ms_median`. Each entry also
+//! records the generation [`spp_core::Outcome`], the covering wall time,
+//! the branch-and-bound node count (`cover_nodes`) and the covering
+//! worker budget (`cover_threads`); the baseline's header records the
+//! worker budget that was actually used (`resolved_threads`). `--threads
+//! N` pins that budget and **wins over the `SPP_THREADS` environment
+//! variable**; with neither, the budget is the machine's available
+//! parallelism.
 
 use std::io::Write as _;
 use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use spp_bench::{circuit_or_die, timed_eppp_with, Mode};
-use spp_core::{Grouping, Parallelism};
+use spp_core::{Event, EventSink, Grouping, Parallelism, RunCtx};
 
 const SECTIONS: &[(&str, &str)] = &[
     ("Table 1 — SP vs SPP minimal forms", "table1"),
@@ -39,13 +46,16 @@ const SECTIONS: &[(&str, &str)] = &[
 const JSON_ROWS: &[(&str, usize)] =
     &[("life", 0), ("adr4", 3), ("dist", 1), ("root", 1), ("mlp4", 5)];
 
-/// One measured configuration of one benchmark output.
+/// One measured `(name, grouping, threads)` configuration, with one wall
+/// time per run of that configuration.
 struct BenchEntry {
     name: String,
     grouping: &'static str,
     threads: usize,
-    wall_ms: f64,
+    wall_ms: Vec<f64>,
     cover_ms: f64,
+    cover_nodes: u64,
+    cover_threads: usize,
     comparisons: u64,
     eppp: usize,
     max_level: usize,
@@ -55,18 +65,36 @@ struct BenchEntry {
 }
 
 impl BenchEntry {
+    /// Median of the recorded wall times (mean of the two middles for an
+    /// even run count).
+    fn wall_ms_median(&self) -> f64 {
+        let mut sorted = self.wall_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+
     fn to_json(&self) -> String {
         // All fields are numbers, bools or [A-Za-z0-9_()] names — no
         // escaping needed.
         format!(
-            "    {{\"name\": \"{}\", \"grouping\": \"{}\", \"threads\": {}, \
-             \"wall_ms\": {:.3}, \"cover_ms\": {:.3}, \"comparisons\": {}, \"eppp\": {}, \
+            "    {{\"name\": \"{}\", \"grouping\": \"{}\", \"threads\": {}, \"runs\": {}, \
+             \"wall_ms_min\": {:.3}, \"wall_ms_median\": {:.3}, \"cover_ms\": {:.3}, \
+             \"cover_nodes\": {}, \"cover_threads\": {}, \"comparisons\": {}, \"eppp\": {}, \
              \"max_level\": {}, \"spp_literals\": {}, \"truncated\": {}, \"outcome\": \"{}\"}}",
             self.name,
             self.grouping,
             self.threads,
-            self.wall_ms,
+            self.wall_ms.len(),
+            self.wall_ms.iter().copied().fold(f64::INFINITY, f64::min),
+            self.wall_ms_median(),
             self.cover_ms,
+            self.cover_nodes,
+            self.cover_threads,
             self.comparisons,
             self.eppp,
             self.max_level,
@@ -77,12 +105,31 @@ impl BenchEntry {
     }
 }
 
+/// Captures the node count of the final `CoverFinished` event, so the
+/// baseline can track branch-and-bound search effort, not just wall time.
+#[derive(Default)]
+struct CoverNodeSpy(AtomicU64);
+
+impl EventSink for CoverNodeSpy {
+    fn emit(&self, event: &Event) {
+        if let Event::CoverFinished { nodes, .. } = event {
+            self.0.store(*nodes, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Minimum-literal cover over an EPPP set (the `#L` the entries record)
-/// plus the covering wall time in milliseconds.
-fn spp_literals(f: &spp_boolfn::BoolFn, set: &spp_core::EpppSet, mode: Mode) -> (u64, f64) {
+/// plus the covering wall time in milliseconds and branch-and-bound node
+/// count. The covering search runs at the `budget` worker count.
+fn spp_literals(
+    f: &spp_boolfn::BoolFn,
+    set: &spp_core::EpppSet,
+    mode: Mode,
+    budget: Parallelism,
+) -> (u64, f64, u64) {
     let on = f.on_set();
     if on.is_empty() {
-        return (0, 0.0);
+        return (0, 0.0, 0);
     }
     let mut problem = spp_cover::CoverProblem::new(on.len());
     problem.add_columns_par(Parallelism::AUTO, set.pseudocubes.len(), |c| {
@@ -91,9 +138,13 @@ fn spp_literals(f: &spp_boolfn::BoolFn, set: &spp_core::EpppSet, mode: Mode) -> 
             on.iter().enumerate().filter(|(_, p)| pc.contains(p)).map(|(i, _)| i).collect();
         (rows, pc.literal_count().max(1))
     });
-    let (solution, dt) = spp_bench::timed(|| spp_cover::solve_auto(&problem, &mode.sp_limits()));
+    let limits = mode.sp_limits().with_parallelism(budget);
+    let spy = Arc::new(CoverNodeSpy::default());
+    let ctx = RunCtx::new().with_sink(spy.clone());
+    let (solution, dt) =
+        spp_bench::timed(|| spp_cover::solve_auto_ctx(&problem, &limits, &ctx).0);
     let lits = solution.columns.iter().map(|&c| set.pseudocubes[c].literal_count()).sum();
-    (lits, dt.as_secs_f64() * 1e3)
+    (lits, dt.as_secs_f64() * 1e3, spy.0.load(Ordering::Relaxed))
 }
 
 /// Writes the machine-readable benchmark baseline.
@@ -122,26 +173,38 @@ fn emit_json(
             let (set, dt) = timed_eppp_with(&f, grouping, &limits);
             // #L depends only on the candidate set; every non-truncated
             // configuration yields the same one, so solve the cover once.
-            let (lits, cover_ms) =
-                *literals.get_or_insert_with(|| spp_literals(&f, &set, mode));
-            entries.push(BenchEntry {
-                name: format!("{name}({idx})"),
-                grouping: grouping_label,
-                threads: parallelism.threads(),
-                wall_ms: dt.as_secs_f64() * 1e3,
-                cover_ms,
-                comparisons: set.stats.comparisons,
-                eppp: set.pseudocubes.len(),
-                max_level: set.stats.levels.iter().map(|l| l.size).max().unwrap_or(0),
-                spp_literals: lits,
-                truncated: set.stats.truncated,
-                outcome: set.stats.outcome.as_str(),
-            });
+            let (lits, cover_ms, cover_nodes) =
+                *literals.get_or_insert_with(|| spp_literals(&f, &set, mode, budget));
+            let wall_ms = dt.as_secs_f64() * 1e3;
+            // Configurations that resolve to the same key (trie sequential
+            // vs trie on a one-core budget) fold into one entry.
+            let key = (format!("{name}({idx})"), grouping_label, parallelism.threads());
+            if let Some(entry) = entries.iter_mut().find(|e| {
+                (e.name.as_str(), e.grouping, e.threads) == (key.0.as_str(), key.1, key.2)
+            }) {
+                entry.wall_ms.push(wall_ms);
+            } else {
+                entries.push(BenchEntry {
+                    name: key.0,
+                    grouping: grouping_label,
+                    threads: parallelism.threads(),
+                    wall_ms: vec![wall_ms],
+                    cover_ms,
+                    cover_nodes,
+                    cover_threads: budget.threads(),
+                    comparisons: set.stats.comparisons,
+                    eppp: set.pseudocubes.len(),
+                    max_level: set.stats.levels.iter().map(|l| l.size).max().unwrap_or(0),
+                    spp_literals: lits,
+                    truncated: set.stats.truncated,
+                    outcome: set.stats.outcome.as_str(),
+                });
+            }
         }
     }
     let body: Vec<String> = entries.iter().map(BenchEntry::to_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"spp-bench/2\",\n  \"profile\": \"{}\",\n  \
+        "{{\n  \"schema\": \"spp-bench/3\",\n  \"profile\": \"{}\",\n  \
          \"resolved_threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
         if full { "full" } else { "fast" },
         resolved_threads,

@@ -70,11 +70,13 @@ impl Mode {
                         .with_time_limit(Some(Duration::from_secs(10)))
                         .with_parallelism(spp_core::Parallelism::AUTO),
                 )
-                .with_cover_limits(spp_cover::Limits {
-                    max_nodes: 200_000,
-                    time_limit: Some(Duration::from_secs(5)),
-                    max_exact_columns: 4_000,
-                }),
+                .with_cover_limits(
+                    spp_cover::Limits::default()
+                        .with_max_nodes(200_000)
+                        .with_time_limit(Some(Duration::from_secs(5)))
+                        .with_max_exact_columns(4_000)
+                        .with_parallelism(spp_cover::Parallelism::AUTO),
+                ),
             Mode::Full => SppOptions::default()
                 .with_grouping(Grouping::PartitionTrie)
                 .with_gen_limits(
@@ -84,11 +86,13 @@ impl Mode {
                         .with_time_limit(Some(Duration::from_secs(300)))
                         .with_parallelism(spp_core::Parallelism::AUTO),
                 )
-                .with_cover_limits(spp_cover::Limits {
-                    max_nodes: 2_000_000,
-                    time_limit: Some(Duration::from_secs(60)),
-                    max_exact_columns: 20_000,
-                }),
+                .with_cover_limits(
+                    spp_cover::Limits::default()
+                        .with_max_nodes(2_000_000)
+                        .with_time_limit(Some(Duration::from_secs(60)))
+                        .with_max_exact_columns(20_000)
+                        .with_parallelism(spp_cover::Parallelism::AUTO),
+                ),
         }
     }
 

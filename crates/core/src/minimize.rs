@@ -197,7 +197,11 @@ pub(crate) fn cover_with_candidates(
         let pc = &candidates[c];
         (rows_covered(on, pc), pc.literal_count().max(1))
     });
-    let (solution, outcome) = solve_auto_ctx(&problem, limits, ctx);
+    // The covering search fans out on the same session worker budget as
+    // generation (the result is thread-count-invariant, so this only
+    // changes speed).
+    let limits = limits.clone().with_parallelism(parallelism);
+    let (solution, outcome) = solve_auto_ctx(&problem, &limits, ctx);
     let terms: Vec<Pseudocube> =
         solution.columns.iter().map(|&c| candidates[c].clone()).collect();
     (SppForm::new(f.num_vars(), terms), solution.optimal, outcome)

@@ -168,7 +168,11 @@ pub(crate) fn multi_session(
 
     let cover_start = std::time::Instant::now();
     ctx.emit(Event::PhaseStarted { phase: Phase::Cover });
-    let (solution, cover_outcome) = solve_auto_ctx(&problem, &options.cover_limits, ctx);
+    // One covering instance for the whole circuit: give it the full session
+    // worker budget (the exact solver is thread-count-invariant).
+    let cover_limits =
+        options.cover_limits.clone().with_parallelism(options.gen_limits.parallelism);
+    let (solution, cover_outcome) = solve_auto_ctx(&problem, &cover_limits, ctx);
     outcome = outcome.merge(cover_outcome);
     ctx.emit(Event::PhaseFinished {
         phase: Phase::Cover,

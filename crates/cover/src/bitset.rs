@@ -158,12 +158,112 @@ impl BitSet {
     /// Panics if the lengths differ.
     #[must_use]
     pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.and_count_ones(other)
+    }
+
+    /// Word-level popcount of `self & other` — the covering engine's
+    /// "how many active rows does this column still cover" kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn and_count_ones(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
         self.words
             .iter()
             .zip(&other.words)
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
+    }
+
+    /// Popcount of `self & other`, stopping early once the running count
+    /// exceeds `cap`: returns `min(|self & other|, cap + 1)`. Branch-row
+    /// selection only needs to know whether a row beats the current
+    /// minimum, so it never pays for a full count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn and_count_ones_capped(&self, other: &BitSet, cap: usize) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut count = 0usize;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            count += (a & b).count_ones() as usize;
+            if count > cap {
+                return cap + 1;
+            }
+        }
+        count
+    }
+
+    /// The index of the first bit set in both `self` and `other`, or
+    /// `None` — the "single remaining column of an essential row" kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn first_one_in(&self, other: &BitSet) -> Option<usize> {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let w = a & b;
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Whether `self & mask ⊆ other & mask`: the dominance-pass subset
+    /// test restricted to the still-active universe, without building
+    /// either masked set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn is_subset_within(&self, other: &BitSet, mask: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        assert_eq!(self.len, mask.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .zip(&mask.words)
+            .all(|((a, b), m)| a & m & !b == 0)
+    }
+
+    /// In-place masked union: `self |= other & mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn union_with_masked(&mut self, other: &BitSet, mask: &BitSet) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        assert_eq!(self.len, mask.len, "length mismatch");
+        for ((a, b), m) in self.words.iter_mut().zip(&other.words).zip(&mask.words) {
+            *a |= b & m;
+        }
+    }
+
+    /// Clears every bit in place, keeping the allocation — the reset of a
+    /// reusable scratch buffer.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Overwrites `self` with `other` in place (same-length copy without
+    /// reallocating) — scratch buffers are recycled, never rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.copy_from_slice(&other.words);
     }
 
     /// Whether `self` and `other` share at least one set bit.
@@ -290,6 +390,45 @@ mod tests {
         assert_eq!(s.first_one(), Some(70));
         assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![70, 199]);
         assert_eq!(BitSet::new(5).first_one(), None);
+    }
+
+    #[test]
+    fn word_level_kernels() {
+        let a = BitSet::from_indices(200, &[1, 70, 130, 199]);
+        let b = BitSet::from_indices(200, &[70, 130, 131]);
+        assert_eq!(a.and_count_ones(&b), 2);
+        assert_eq!(a.and_count_ones(&b), a.intersection_count(&b));
+        assert_eq!(a.and_count_ones_capped(&b, 0), 1);
+        assert_eq!(a.and_count_ones_capped(&b, 1), 2);
+        assert_eq!(a.and_count_ones_capped(&b, 5), 2);
+        assert_eq!(a.first_one_in(&b), Some(70));
+        assert_eq!(a.first_one_in(&BitSet::new(200)), None);
+    }
+
+    #[test]
+    fn masked_subset_ignores_bits_outside_the_mask() {
+        let a = BitSet::from_indices(100, &[1, 50, 99]);
+        let b = BitSet::from_indices(100, &[50]);
+        let mask = BitSet::from_indices(100, &[50, 99]);
+        // Unmasked: a ⊄ b. Within {50, 99}: a∩mask = {50, 99} ⊄ {50}.
+        assert!(!a.is_subset_within(&b, &mask));
+        let mask = BitSet::from_indices(100, &[50]);
+        assert!(a.is_subset_within(&b, &mask));
+        // Bit 1 of `a` lies outside every mask above and never matters.
+        assert!(b.is_subset_within(&a, &BitSet::all_ones(100)));
+    }
+
+    #[test]
+    fn masked_union_and_scratch_reuse() {
+        let mut acc = BitSet::new(100);
+        let src = BitSet::from_indices(100, &[3, 64, 90]);
+        let mask = BitSet::from_indices(100, &[64, 90, 91]);
+        acc.union_with_masked(&src, &mask);
+        assert_eq!(acc.iter_ones().collect::<Vec<_>>(), vec![64, 90]);
+        acc.clear();
+        assert!(acc.none());
+        acc.copy_from(&src);
+        assert_eq!(acc, src);
     }
 
     #[test]

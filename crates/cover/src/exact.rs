@@ -1,34 +1,353 @@
 //! Exact branch & bound covering solver.
+//!
+//! The search keeps **one** mutable [`TrailState`] per worker and journals
+//! every mutation in an undo trail, so descending into a node costs a few
+//! pushes and backtracking is a replay — nothing on the search path
+//! allocates. Root branching decisions fan out as independent subtrees on
+//! [`spp_par::par_ranges`] scoped threads; workers share the incumbent
+//! through a single packed atomic (see [`pack`]) whose ordering makes the
+//! returned cover **bit-identical at any thread count** for completed
+//! searches, while deadline/cancel/budget stops still unwind every worker
+//! to a verified incumbent.
 
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::Instant;
 
 use spp_obs::{Event, Outcome, RunCtx};
 
 use crate::problem::{CoverProblem, CoverSolution, Limits};
 use crate::reduce::{
-    lower_bound, remove_dominated_cols, remove_dominated_rows, select_essentials, RowIndex, State,
+    lower_bound, remove_dominated_cols, remove_dominated_rows, select_essentials, RowIndex,
+    Scratch, TrailState,
 };
 
 /// Columns/rows thresholds under which the quadratic dominance reductions
-/// are applied at a node (they cost O(c²)/O(r²) and only pay off on small
-/// subproblems).
-const COL_DOMINANCE_LIMIT: usize = 400;
-const ROW_DOMINANCE_LIMIT: usize = 300;
+/// are applied at an interior node (compared against the *active* counts,
+/// so deep subproblems qualify as they shrink). Even with the word-level
+/// kernels a per-node O(c²) pass over hundreds of live columns dominates
+/// wall time long before it pays for itself in pruning — profiling the
+/// registry covers put the sweet spot at small subproblems only, where
+/// dominance is what closes the proof of optimality. The old 400/300
+/// gates were tuned for the allocating kernels; the cheap kernels moved
+/// the trade-off *down*, not up, because nodes got ~10× cheaper overall.
+const COL_DOMINANCE_LIMIT: usize = 64;
+const ROW_DOMINANCE_LIMIT: usize = 64;
 
-struct Search<'a> {
+/// The root node is reduced once per solve, so it affords a much wider
+/// gate: one quadratic pass over a few thousand columns is milliseconds
+/// and shrinks every subtree underneath.
+const ROOT_COL_DOMINANCE_LIMIT: usize = 4096;
+const ROOT_ROW_DOMINANCE_LIMIT: usize = 2048;
+
+/// Workers flush their node count and poll for stop requests every this
+/// many nodes (more often when the node budget is nearly spent).
+const SYNC_INTERVAL: u64 = 256;
+
+/// Low bits of the packed incumbent rank that hold the subtree index.
+const SUBTREE_BITS: u32 = 20;
+
+/// Packs an incumbent as `(cost << SUBTREE_BITS) | subtree` so that one
+/// atomic `u64` totally orders candidate solutions by *(cost, root-subtree
+/// rank)*. A worker prunes iff its packed rank is `>=` the shared bound
+/// and records strictly-smaller ranks via compare-and-swap, so the final
+/// minimum is the DFS-first minimum-cost solution of the lowest-ranked
+/// subtree containing the optimum — the sequential answer — no matter how
+/// the workers interleave. (Both fields saturate; costs are literal
+/// counts, nowhere near 2^44, and a branch row with 2^20 columns would
+/// only soften tie-breaking among those overflow subtrees.)
+fn pack(cost: u64, subtree: usize) -> u64 {
+    let subtree_mask = (1u64 << SUBTREE_BITS) - 1;
+    (cost.min(u64::MAX >> SUBTREE_BITS) << SUBTREE_BITS) | (subtree as u64).min(subtree_mask)
+}
+
+/// Shared stop flag values: the first cause wins.
+const RUNNING: u8 = 0;
+const STOP_BUDGET: u8 = 1;
+const STOP_DEADLINE: u8 = 2;
+const STOP_CANCELLED: u8 = 3;
+
+/// State shared by all search workers of one `solve_exact_ctx` call.
+struct Shared<'a> {
     problem: &'a CoverProblem,
-    index: RowIndex,
-    best: CoverSolution,
-    nodes: u64,
+    index: &'a RowIndex,
     limits: &'a Limits,
     ctx: &'a RunCtx,
-    exhausted: bool,
-    outcome: Outcome,
+    /// Packed `(cost, subtree)` rank of the best incumbent (see [`pack`]).
+    bound: AtomicU64,
+    /// Total nodes explored; starts at 1 for the root node.
+    nodes: AtomicU64,
+    /// One of the `RUNNING`/`STOP_*` codes.
+    stop: AtomicU8,
+}
+
+impl Shared<'_> {
+    /// Latches a stop cause; later causes lose so the report is stable.
+    fn flag_stop(&self, code: u8) {
+        let _ = self.stop.compare_exchange(RUNNING, code, Ordering::AcqRel, Ordering::Relaxed);
+    }
+}
+
+/// A recorded incumbent improvement. Workers keep their own lists (no
+/// shared solution storage, hence no locks); the driver takes the global
+/// minimum by rank at the end.
+struct Improvement {
+    rank: u64,
+    cost: u64,
+    columns: Vec<usize>,
+}
+
+/// One search worker: a trail state, its scratch buffers and the node
+/// accounting against the shared budget.
+struct Worker<'a> {
+    shared: &'a Shared<'a>,
+    state: TrailState,
+    scratch: Scratch,
+    /// Root-subtree rank of the branch currently being searched.
+    subtree: usize,
+    /// Nodes counted locally but not yet flushed to `shared.nodes`.
+    pending: u64,
+    /// Nodes until the next flush/stop poll; starts at 1 so every worker
+    /// syncs on its first node and then paces itself off the global count.
+    countdown: u64,
+    /// Total nodes this worker explored (for subtree events).
+    local_nodes: u64,
+    stopped: bool,
+    improvements: Vec<Improvement>,
+}
+
+impl<'a> Worker<'a> {
+    fn new(shared: &'a Shared<'a>, state: TrailState) -> Worker<'a> {
+        Worker {
+            shared,
+            state,
+            scratch: Scratch::new(shared.problem),
+            subtree: 0,
+            pending: 0,
+            countdown: 1,
+            local_nodes: 0,
+            stopped: false,
+            improvements: Vec::new(),
+        }
+    }
+
+    /// Flushes the local node count and polls the budget, the deadline and
+    /// the cancellation token (uncounted — counted checkpoints are the
+    /// main thread's, so the counted trip point stays deterministic).
+    fn sync(&mut self) {
+        let total = self.shared.nodes.fetch_add(self.pending, Ordering::Relaxed) + self.pending;
+        self.pending = 0;
+        if total >= self.shared.limits.max_nodes {
+            self.shared.flag_stop(STOP_BUDGET);
+        } else if let Some(reason) = self.shared.ctx.stop_reason() {
+            self.shared.flag_stop(match reason {
+                Outcome::Cancelled => STOP_CANCELLED,
+                _ => STOP_DEADLINE,
+            });
+        }
+        self.stopped = self.shared.stop.load(Ordering::Acquire) != RUNNING;
+        // Never outrun the node budget by more than one sync interval.
+        self.countdown =
+            self.shared.limits.max_nodes.saturating_sub(total).clamp(1, SYNC_INTERVAL);
+    }
+
+    /// Accounts one node; returns `false` when the worker must unwind.
+    fn enter_node(&mut self) -> bool {
+        if self.stopped {
+            return false;
+        }
+        self.pending += 1;
+        self.local_nodes += 1;
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.sync();
+        }
+        !self.stopped
+    }
+
+    /// Whether a branch whose completions rank at least `cost` is beaten
+    /// by the shared incumbent.
+    fn pruned(&self, cost: u64) -> bool {
+        pack(cost, self.subtree) >= self.shared.bound.load(Ordering::Acquire)
+    }
+
+    /// Publishes the current (complete) selection if it still beats the
+    /// shared incumbent at this instant.
+    fn try_record(&mut self) {
+        let cost = self.state.cost;
+        let rank = pack(cost, self.subtree);
+        let mut current = self.shared.bound.load(Ordering::Acquire);
+        while rank < current {
+            match self.shared.bound.compare_exchange_weak(
+                current,
+                rank,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.improvements.push(Improvement {
+                        rank,
+                        cost,
+                        columns: self.state.selected.clone(),
+                    });
+                    self.shared.ctx.emit(Event::CoverImproved {
+                        cost,
+                        nodes: self.shared.nodes.load(Ordering::Relaxed) + self.pending,
+                    });
+                    return;
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Searches the subtree below the current trail state. The caller owns
+    /// the trail mark: every mutation made here (including on early
+    /// returns) is undone by the caller's `undo_to`.
+    fn recurse(&mut self, depth: usize) {
+        if !self.enter_node() {
+            return;
+        }
+        if !select_essentials(self.shared.problem, self.shared.index, &mut self.state) {
+            return; // infeasible branch (a row lost all its columns)
+        }
+        if self.pruned(self.state.cost) {
+            return;
+        }
+        if self.state.done() {
+            self.try_record();
+            return;
+        }
+        if self.state.rows_left() <= ROW_DOMINANCE_LIMIT {
+            remove_dominated_rows(self.shared.index, &mut self.state, &mut self.scratch);
+        }
+        if self.state.cols_left() <= COL_DOMINANCE_LIMIT {
+            remove_dominated_cols(self.shared.problem, &mut self.state, &mut self.scratch);
+            // Dominance may have created new essentials.
+            if !select_essentials(self.shared.problem, self.shared.index, &mut self.state) {
+                return;
+            }
+            if self.state.done() {
+                self.try_record();
+                return;
+            }
+        }
+        let lb =
+            lower_bound(self.shared.problem, self.shared.index, &self.state, &mut self.scratch);
+        if self.pruned(self.state.cost + lb) {
+            return;
+        }
+
+        let mut choices = self.scratch.take_choices(depth);
+        branch_choices(self.shared.problem, self.shared.index, &self.state, &mut choices);
+        for &(_, col) in &choices {
+            let c = col as usize;
+            let mark = self.state.mark();
+            self.state.select(self.shared.problem, c);
+            self.recurse(depth + 1);
+            self.state.undo_to(self.shared.problem, mark);
+            if self.stopped {
+                break;
+            }
+            // Any cover avoiding all earlier choices must still cover the
+            // branch row with a later column, so excluding tried columns
+            // keeps the enumeration complete and duplicate-free.
+            self.state.deactivate_col(c);
+        }
+        self.scratch.put_choices(depth, choices);
+    }
+
+    /// Flushes any node count still pending (on exit paths that skipped
+    /// the periodic sync).
+    fn flush(&mut self) {
+        if self.pending > 0 {
+            self.shared.nodes.fetch_add(self.pending, Ordering::Relaxed);
+            self.pending = 0;
+        }
+    }
+}
+
+/// Picks the most constrained active row (fewest active covering columns,
+/// first such row) and fills `choices` with its `(coverage, column)`
+/// pairs, most promising first: smallest cost per newly covered row, ties
+/// broken by column index. The order is a fixed total order on the state,
+/// so the branching sequence — and hence the subtree ranks — is identical
+/// at any thread count.
+fn branch_choices(
+    problem: &CoverProblem,
+    index: &RowIndex,
+    state: &TrailState,
+    choices: &mut Vec<(u64, u32)>,
+) {
+    let mut best_row = usize::MAX;
+    let mut best_count = usize::MAX;
+    for r in state.active_rows.iter_ones() {
+        let count = index.active_count_capped(&state.active_cols, r, best_count);
+        if count < best_count {
+            best_row = r;
+            best_count = count;
+            if count <= 2 {
+                break; // essentials already ran, so 2 is the minimum
+            }
+        }
+    }
+    choices.clear();
+    for c in index.active_cols_of(&state.active_cols, best_row) {
+        let coverage = problem.rows_of(c as usize).and_count_ones(&state.active_rows) as u64;
+        choices.push((coverage, c));
+    }
+    choices.sort_unstable_by(|&(cov_a, a), &(cov_b, b)| {
+        // cost(a)/cov(a) < cost(b)/cov(b), compared exactly.
+        let ka = u128::from(problem.cost(a as usize)) * u128::from(cov_b);
+        let kb = u128::from(problem.cost(b as usize)) * u128::from(cov_a);
+        ka.cmp(&kb).then_with(|| a.cmp(&b))
+    });
+}
+
+/// Runs the root node's reductions on `root` and returns the root
+/// branching choices, or `None` when the search is already settled at the
+/// root (done, pruned, infeasible or stopped). Any root-level incumbent
+/// ends up in `root.improvements`.
+fn prepare_root(root: &mut Worker) -> Option<Vec<(u64, u32)>> {
+    if root.stopped {
+        return None;
+    }
+    if !select_essentials(root.shared.problem, root.shared.index, &mut root.state) {
+        return None;
+    }
+    if root.pruned(root.state.cost) {
+        return None;
+    }
+    if root.state.done() {
+        root.try_record();
+        return None;
+    }
+    if root.state.rows_left() <= ROOT_ROW_DOMINANCE_LIMIT {
+        remove_dominated_rows(root.shared.index, &mut root.state, &mut root.scratch);
+    }
+    if root.state.cols_left() <= ROOT_COL_DOMINANCE_LIMIT {
+        remove_dominated_cols(root.shared.problem, &mut root.state, &mut root.scratch);
+        if !select_essentials(root.shared.problem, root.shared.index, &mut root.state) {
+            return None;
+        }
+        if root.state.done() {
+            root.try_record();
+            return None;
+        }
+    }
+    let lb = lower_bound(root.shared.problem, root.shared.index, &root.state, &mut root.scratch);
+    if root.pruned(root.state.cost + lb) {
+        return None;
+    }
+    let mut choices = Vec::new();
+    branch_choices(root.shared.problem, root.shared.index, &root.state, &mut choices);
+    Some(choices)
 }
 
 /// Solves a covering instance to proven optimality with branch & bound, as
 /// long as the node/time budget in `limits` suffices; otherwise returns the
-/// best cover found with `optimal == false`.
+/// best cover found with `optimal == false`. Runs on
+/// [`Limits::parallelism`] worker threads; the result does not depend on
+/// the thread count.
 ///
 /// `warm_start` (typically the greedy solution) seeds the upper bound and
 /// is returned if nothing better is found.
@@ -60,15 +379,18 @@ pub fn solve_exact(
 }
 
 /// [`solve_exact`] under a run-control context: the search additionally
-/// honours the context's deadline and cancellation token (polled every 256
-/// nodes alongside the node budget), emits a
-/// [`CoverImproved`](spp_obs::Event::CoverImproved) event whenever the
-/// incumbent improves, and reports how the search ended.
+/// honours the context's deadline and cancellation token (polled by every
+/// worker at its node-count flushes), emits
+/// [`CoverImproved`](spp_obs::Event::CoverImproved) whenever the shared
+/// incumbent improves and [`CoverSubtreeStarted`](spp_obs::Event::CoverSubtreeStarted)/
+/// [`CoverSubtreeFinished`](spp_obs::Event::CoverSubtreeFinished) around
+/// each root subtree, and reports how the search ended.
 ///
-/// On deadline or cancellation the **incumbent** cover (never worse than
-/// the warm start) is returned with `optimal == false`; plain node-budget
-/// exhaustion reports [`Outcome::Completed`] — the `optimal` flag already
-/// captures the lost proof.
+/// On deadline or cancellation every worker unwinds and the **incumbent**
+/// cover (never worse than the warm start) is returned with
+/// `optimal == false`; plain node-budget exhaustion reports
+/// [`Outcome::Completed`] — the `optimal` flag already captures the lost
+/// proof.
 ///
 /// # Panics
 ///
@@ -83,127 +405,90 @@ pub fn solve_exact_ctx(
     assert!(!problem.has_uncoverable_row(), "covering instance is infeasible");
     let seed = warm_start.cloned().unwrap_or_else(|| crate::solve_greedy(problem));
     let ctx = ctx.clone().cap_deadline(limits.time_limit.map(|d| Instant::now() + d));
-    let mut search = Search {
+
+    // The root is node 1. If the context has already expired, the warm
+    // start *is* the verified incumbent.
+    if let Some(reason) = ctx.stop_reason() {
+        let best = CoverSolution { optimal: false, ..seed };
+        ctx.emit(Event::CoverFinished { cost: best.cost, nodes: 1, optimal: false });
+        return (best, reason);
+    }
+
+    let index = RowIndex::build(problem);
+    let shared = Shared {
         problem,
-        index: RowIndex::build(problem),
-        best: CoverSolution { optimal: false, ..seed },
-        nodes: 0,
+        index: &index,
         limits,
         ctx: &ctx,
-        exhausted: true,
-        outcome: Outcome::Completed,
+        bound: AtomicU64::new(pack(seed.cost, 0)),
+        nodes: AtomicU64::new(1),
+        stop: AtomicU8::new(RUNNING),
     };
-    let state = State::root(problem);
-    search.recurse(state);
-    search.best.columns.sort_unstable();
-    search.best.optimal = search.exhausted;
-    ctx.emit(Event::CoverFinished {
-        cost: search.best.cost,
-        nodes: search.nodes,
-        optimal: search.best.optimal,
-    });
-    (search.best, search.outcome)
-}
-
-impl Search<'_> {
-    fn out_of_budget(&mut self) -> bool {
-        // Latched: once any budget trips, every later check returns true so
-        // the whole search tree unwinds immediately.
-        if !self.exhausted {
-            return true;
-        }
-        if self.nodes >= self.limits.max_nodes {
-            self.exhausted = false;
-            return true;
-        }
-        // Check the clock (and the cancellation token) at the root and
-        // every 256 nodes after that, keeping them off the hot path while
-        // still unwinding immediately when the context expired up front.
-        if self.nodes == 1 || self.nodes.is_multiple_of(256) {
-            if let Some(reason) = self.ctx.stop_reason() {
-                self.exhausted = false;
-                self.outcome = reason;
-                return true;
-            }
-        }
-        false
+    let mut root = Worker::new(&shared, TrailState::root(problem));
+    if limits.max_nodes <= 1 {
+        shared.flag_stop(STOP_BUDGET);
+        root.stopped = true;
     }
 
-    fn recurse(&mut self, mut state: State) {
-        self.nodes += 1;
-        if self.out_of_budget() {
-            return;
-        }
-        if !select_essentials(self.problem, &self.index, &mut state) {
-            return; // infeasible branch (a row lost all its columns)
-        }
-        if state.cost >= self.best.cost {
-            return;
-        }
-        if state.done() {
-            self.best = CoverSolution {
-                columns: state.selected.clone(),
-                cost: state.cost,
-                optimal: false,
-            };
-            self.ctx.emit(Event::CoverImproved { cost: state.cost, nodes: self.nodes });
-            return;
-        }
-        if state.active_rows.count_ones() <= ROW_DOMINANCE_LIMIT {
-            remove_dominated_rows(&self.index, &mut state);
-        }
-        if state.active_cols.count_ones() <= COL_DOMINANCE_LIMIT {
-            remove_dominated_cols(self.problem, &mut state);
-            // Dominance may have created new essentials.
-            if !select_essentials(self.problem, &self.index, &mut state) {
-                return;
+    let choices = prepare_root(&mut root);
+    let mut improvements = std::mem::take(&mut root.improvements);
+    if let Some(choices) = &choices {
+        // Fan the root branching decisions out as contiguous, in-order
+        // subtree ranges. Subtree `i` selects `choices[i]` with all
+        // earlier choices excluded — exactly the sequential enumeration,
+        // so one thread reproduces the old search shape and many threads
+        // reproduce one thread's answer.
+        let root_state = &root.state;
+        let threads = limits.parallelism.threads();
+        let per_worker = spp_par::par_ranges(threads, choices.len(), |range| {
+            let mut worker = Worker::new(&shared, root_state.clone());
+            for &(_, c) in &choices[..range.start] {
+                worker.state.deactivate_col(c as usize);
             }
-            if state.done() {
-                if state.cost < self.best.cost {
-                    self.best = CoverSolution {
-                        columns: state.selected.clone(),
-                        cost: state.cost,
-                        optimal: false,
-                    };
-                    self.ctx.emit(Event::CoverImproved { cost: state.cost, nodes: self.nodes });
+            for i in range {
+                let c = choices[i].1 as usize;
+                worker.subtree = i;
+                shared.ctx.emit(Event::CoverSubtreeStarted { index: i, column: c });
+                let nodes_before = worker.local_nodes;
+                let records_before = worker.improvements.len();
+                let mark = worker.state.mark();
+                worker.state.select(shared.problem, c);
+                worker.recurse(1);
+                worker.state.undo_to(shared.problem, mark);
+                shared.ctx.emit(Event::CoverSubtreeFinished {
+                    index: i,
+                    nodes: worker.local_nodes - nodes_before,
+                    improved: worker.improvements.len() > records_before,
+                });
+                if worker.stopped {
+                    break;
                 }
-                return;
+                worker.state.deactivate_col(c);
             }
-        }
-        if state.cost + lower_bound(self.problem, &self.index, &state) >= self.best.cost {
-            return;
-        }
-
-        // Branch on the most constrained row.
-        let branch_row = state
-            .active_rows
-            .iter_ones()
-            .min_by_key(|&r| self.index.active_cols_of(&state, r).len())
-            .expect("non-done state has an active row");
-        let mut choices = self.index.active_cols_of(&state, branch_row);
-        // Try promising columns first: big coverage per cost.
-        choices.sort_by(|&a, &b| {
-            let (a, b) = (a as usize, b as usize);
-            let ka = self.problem.cost(a) as u128
-                * state.active_rows.intersection_count(self.problem.rows_of(b)) as u128;
-            let kb = self.problem.cost(b) as u128
-                * state.active_rows.intersection_count(self.problem.rows_of(a)) as u128;
-            ka.cmp(&kb)
+            worker.flush();
+            worker.improvements
         });
-        let mut remaining = state;
-        for &c in &choices {
-            let mut child = remaining.clone();
-            child.select(self.problem, c as usize);
-            self.recurse(child);
-            // Any cover avoiding all earlier choices must still cover the
-            // branch row with a later column, so excluding tried columns
-            // keeps the enumeration complete and duplicate-free.
-            remaining.active_cols.set(c as usize, false);
-            if !self.exhausted {
-                return;
-            }
-        }
+        improvements.extend(per_worker.into_iter().flatten());
     }
+    root.flush();
+
+    let complete = shared.stop.load(Ordering::Acquire) == RUNNING;
+    let outcome = match shared.stop.load(Ordering::Acquire) {
+        STOP_DEADLINE => Outcome::DeadlineExceeded,
+        STOP_CANCELLED => Outcome::Cancelled,
+        _ => Outcome::Completed,
+    };
+    let mut best = match improvements.into_iter().min_by_key(|imp| imp.rank) {
+        Some(imp) => CoverSolution { columns: imp.columns, cost: imp.cost, optimal: complete },
+        None => CoverSolution { optimal: complete, ..seed },
+    };
+    best.columns.sort_unstable();
+    ctx.emit(Event::CoverFinished {
+        cost: best.cost,
+        nodes: shared.nodes.load(Ordering::Relaxed),
+        optimal: best.optimal,
+    });
+    (best, outcome)
 }
 
 #[cfg(test)]
@@ -245,7 +530,7 @@ mod tests {
                 p.add_column(&[i, j], 2);
             }
         }
-        let limits = Limits { max_nodes: 2, ..Limits::default() };
+        let limits = Limits::default().with_max_nodes(2);
         let sol = solve_exact(&p, &limits, None);
         assert!(p.is_cover(&sol.columns));
         assert!(!sol.optimal);
@@ -313,9 +598,8 @@ mod tests {
                 p.add_column(&[i, j], 2);
             }
         }
-        let limits = Limits { max_nodes: 2, ..Limits::default() };
-        let (sol, outcome) =
-            solve_exact_ctx(&p, &limits, None, &RunCtx::default());
+        let limits = Limits::default().with_max_nodes(2);
+        let (sol, outcome) = solve_exact_ctx(&p, &limits, None, &RunCtx::default());
         assert!(!sol.optimal);
         assert_eq!(outcome, Outcome::Completed);
     }
@@ -330,6 +614,7 @@ mod tests {
         struct Spy {
             improvements: AtomicU64,
             finished: AtomicU64,
+            subtrees: AtomicU64,
         }
         impl EventSink for Spy {
             fn emit(&self, event: &Event) {
@@ -339,6 +624,9 @@ mod tests {
                     }
                     Event::CoverFinished { optimal: true, .. } => {
                         self.finished.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Event::CoverSubtreeFinished { .. } => {
+                        self.subtrees.fetch_add(1, Ordering::Relaxed);
                     }
                     _ => {}
                 }
@@ -359,6 +647,8 @@ mod tests {
         // least one improvement event must have fired.
         assert!(spy.improvements.load(Ordering::Relaxed) >= 1);
         assert_eq!(spy.finished.load(Ordering::Relaxed), 1);
+        // Every explored root subtree reports in.
+        assert!(spy.subtrees.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]
@@ -392,5 +682,53 @@ mod tests {
             }
             assert_eq!(sol.cost, best, "trial {trial}");
         }
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let rows = rng.gen_range(2..=10);
+            let cols = rng.gen_range(2..=14);
+            let mut p = CoverProblem::new(rows);
+            for _ in 0..cols {
+                let members: Vec<usize> = (0..rows).filter(|_| rng.gen_bool(0.4)).collect();
+                let members = if members.is_empty() { vec![0] } else { members };
+                p.add_column(&members, rng.gen_range(1..=6));
+            }
+            if p.has_uncoverable_row() {
+                continue;
+            }
+            let sequential = solve_exact(&p, &Limits::default(), None);
+            for threads in [2usize, 4, 7] {
+                let limits =
+                    Limits::default().with_parallelism(crate::Parallelism::fixed(threads));
+                let parallel = solve_exact(&p, &limits, None);
+                assert_eq!(parallel.columns, sequential.columns, "trial {trial} t={threads}");
+                assert_eq!(parallel.cost, sequential.cost, "trial {trial} t={threads}");
+                assert_eq!(parallel.optimal, sequential.optimal, "trial {trial} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cancel_unwinds_to_a_verified_incumbent() {
+        use spp_obs::CancelToken;
+        let mut p = CoverProblem::new(8);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                p.add_column(&[i, j], 2);
+            }
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = RunCtx::new().with_cancel(token);
+        let limits = Limits::default().with_parallelism(crate::Parallelism::fixed(4));
+        let (sol, outcome) = solve_exact_ctx(&p, &limits, None, &ctx);
+        assert!(p.is_cover(&sol.columns));
+        assert!(!sol.optimal);
+        assert_eq!(outcome, Outcome::Cancelled);
     }
 }

@@ -47,6 +47,7 @@ pub use exact::{solve_exact, solve_exact_ctx};
 pub use greedy::solve_greedy;
 pub use problem::{CoverProblem, CoverSolution, Limits};
 pub use spp_obs::{Event, Outcome, RunCtx};
+pub use spp_par::Parallelism;
 
 /// Solves `problem` with the best strategy for its size: greedy always, and
 /// exact branch & bound (seeded with the greedy bound) when the instance is

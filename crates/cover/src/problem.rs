@@ -182,27 +182,79 @@ impl fmt::Display for CoverSolution {
 }
 
 /// Resource budget for the covering solvers.
+///
+/// Non-exhaustive: build with [`Limits::default`] and the `with_*`
+/// methods, so adding a knob is never a breaking change.
+///
+/// # Examples
+///
+/// ```
+/// use spp_cover::Limits;
+///
+/// let limits = Limits::default()
+///     .with_max_nodes(50_000)
+///     .with_time_limit(None)
+///     .with_parallelism(spp_par::Parallelism::fixed(4));
+/// assert_eq!(limits.max_nodes, 50_000);
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Limits {
     /// Maximum branch & bound nodes explored before giving up on proving
-    /// optimality.
+    /// optimality (shared across all workers).
     pub max_nodes: u64,
     /// Wall-clock budget for the exact solver, if any.
     pub time_limit: Option<Duration>,
     /// [`solve_auto`](crate::solve_auto) only attempts the exact solver when
     /// the instance has at most this many columns.
     pub max_exact_columns: usize,
+    /// Worker-thread budget for the exact solver's root subtree fan-out.
+    /// The returned cover is bit-identical at any setting; threads only
+    /// change how fast the proof finishes.
+    pub parallelism: spp_par::Parallelism,
 }
 
 impl Default for Limits {
     /// A budget suited to interactive use: 2 million nodes, a 10-second
-    /// wall-clock cap, exact solving up to 20 000 columns.
+    /// wall-clock cap, exact solving up to 20 000 columns, sequential
+    /// search (callers opt in to threads explicitly).
     fn default() -> Self {
         Limits {
             max_nodes: 2_000_000,
             time_limit: Some(Duration::from_secs(10)),
             max_exact_columns: 20_000,
+            parallelism: spp_par::Parallelism::sequential(),
         }
+    }
+}
+
+impl Limits {
+    /// Sets the branch & bound node budget.
+    #[must_use]
+    pub fn with_max_nodes(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets (or clears) the exact solver's wall-clock budget.
+    #[must_use]
+    pub fn with_time_limit(mut self, time_limit: Option<Duration>) -> Self {
+        self.time_limit = time_limit;
+        self
+    }
+
+    /// Sets the column-count ceiling for attempting the exact solver.
+    #[must_use]
+    pub fn with_max_exact_columns(mut self, max_exact_columns: usize) -> Self {
+        self.max_exact_columns = max_exact_columns;
+        self
+    }
+
+    /// Sets the exact solver's worker-thread budget.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: spp_par::Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -274,5 +326,21 @@ mod tests {
         assert!(l.max_nodes > 0);
         assert!(l.max_exact_columns > 0);
         assert!(l.time_limit.is_some());
+        assert!(l.parallelism.is_sequential());
+    }
+
+    #[test]
+    fn limit_builders_set_each_knob() {
+        let l = Limits::default()
+            .with_max_nodes(7)
+            .with_time_limit(Some(Duration::from_millis(5)))
+            .with_max_exact_columns(9)
+            .with_parallelism(spp_par::Parallelism::fixed(3));
+        assert_eq!(l.max_nodes, 7);
+        assert_eq!(l.time_limit, Some(Duration::from_millis(5)));
+        assert_eq!(l.max_exact_columns, 9);
+        assert_eq!(l.parallelism.threads(), 3);
+        let l = l.with_time_limit(None);
+        assert_eq!(l.time_limit, None);
     }
 }

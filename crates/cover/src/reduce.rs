@@ -1,46 +1,136 @@
-//! Classical covering-matrix reductions shared by the solvers.
+//! Classical covering-matrix reductions shared by the solvers, built on
+//! word-level [`BitSet`] kernels and an undo trail.
+//!
+//! The branch & bound solver used to clone a per-node `State` (two bitsets
+//! plus a selection vector) and let every reduction allocate fresh `Vec`s;
+//! dominance was therefore gated to tiny subproblems. The engine now keeps
+//! **one** mutable [`TrailState`] per worker and journals every mutation in
+//! an undo [`Trail`], so entering a node costs a few pushes and leaving it
+//! is a replay — no allocation on the search path at all.
 
 use crate::problem::CoverProblem;
 use crate::BitSet;
 
+/// One reversible mutation of a [`TrailState`], recorded so the search can
+/// unwind to any earlier node.
+#[derive(Clone, Copy, Debug)]
+enum TrailOp {
+    /// A row left the active set.
+    RowOff(u32),
+    /// A column left the active set.
+    ColOff(u32),
+    /// A column was selected (cost accounted, pushed on `selected`). The
+    /// matching `ColOff`/`RowOff` entries are journalled separately.
+    Selected(u32),
+}
+
 /// A live view of a covering instance during search: which rows still need
-/// covering, which columns are still available, and what has been selected.
+/// covering, which columns are still available, what has been selected —
+/// plus the undo trail that makes every mutation reversible.
 #[derive(Clone, Debug)]
-pub(crate) struct State {
+pub(crate) struct TrailState {
     pub(crate) active_rows: BitSet,
     pub(crate) active_cols: BitSet,
     pub(crate) selected: Vec<usize>,
     pub(crate) cost: u64,
+    /// Maintained count of `active_rows` ones, so `done()` is O(1).
+    rows_left: usize,
+    /// Maintained count of `active_cols` ones, for the dominance gates.
+    cols_left: usize,
+    trail: Vec<TrailOp>,
 }
 
-impl State {
-    pub(crate) fn root(problem: &CoverProblem) -> State {
-        State {
+impl TrailState {
+    pub(crate) fn root(problem: &CoverProblem) -> TrailState {
+        TrailState {
             active_rows: BitSet::all_ones(problem.num_rows()),
             active_cols: BitSet::all_ones(problem.num_columns()),
             selected: Vec::new(),
             cost: 0,
+            rows_left: problem.num_rows(),
+            cols_left: problem.num_columns(),
+            trail: Vec::new(),
         }
     }
 
-    /// Selects column `c`: accounts its cost and retires the rows it
-    /// covers.
+    /// The current trail position; pass it to [`TrailState::undo_to`] to
+    /// unwind everything recorded after this point.
+    pub(crate) fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Replays the trail backwards to `mark`, restoring the state at the
+    /// time of the matching [`TrailState::mark`] call.
+    pub(crate) fn undo_to(&mut self, problem: &CoverProblem, mark: usize) {
+        while self.trail.len() > mark {
+            match self.trail.pop().expect("trail shorter than its own mark") {
+                TrailOp::RowOff(r) => {
+                    self.active_rows.set(r as usize, true);
+                    self.rows_left += 1;
+                }
+                TrailOp::ColOff(c) => {
+                    self.active_cols.set(c as usize, true);
+                    self.cols_left += 1;
+                }
+                TrailOp::Selected(c) => {
+                    self.cost -= problem.cost(c as usize);
+                    let popped = self.selected.pop();
+                    debug_assert_eq!(popped, Some(c as usize));
+                }
+            }
+        }
+    }
+
+    /// Retires column `c` from the active set (journalled).
+    pub(crate) fn deactivate_col(&mut self, c: usize) {
+        debug_assert!(self.active_cols.get(c));
+        self.active_cols.set(c, false);
+        self.cols_left -= 1;
+        self.trail.push(TrailOp::ColOff(c as u32));
+    }
+
+    /// Retires row `r` from the active set (journalled).
+    pub(crate) fn deactivate_row(&mut self, r: usize) {
+        debug_assert!(self.active_rows.get(r));
+        self.active_rows.set(r, false);
+        self.rows_left -= 1;
+        self.trail.push(TrailOp::RowOff(r as u32));
+    }
+
+    /// Selects column `c`: accounts its cost, retires the column and every
+    /// active row it covers. Fully journalled.
     pub(crate) fn select(&mut self, problem: &CoverProblem, c: usize) {
         debug_assert!(self.active_cols.get(c));
+        self.trail.push(TrailOp::Selected(c as u32));
         self.selected.push(c);
         self.cost += problem.cost(c);
-        self.active_rows.difference_with(problem.rows_of(c));
-        self.active_cols.set(c, false);
+        self.deactivate_col(c);
+        for r in problem.rows_of(c).iter_ones() {
+            if self.active_rows.get(r) {
+                self.deactivate_row(r);
+            }
+        }
     }
 
     pub(crate) fn done(&self) -> bool {
-        self.active_rows.none()
+        self.rows_left == 0
+    }
+
+    pub(crate) fn rows_left(&self) -> usize {
+        self.rows_left
+    }
+
+    pub(crate) fn cols_left(&self) -> usize {
+        self.cols_left
     }
 }
 
-/// Precomputed row → covering columns adjacency.
+/// Precomputed row → covering-columns adjacency, in two forms: a sorted
+/// sparse list per row (cheap iteration) and a dense column bitset per row
+/// (word-level subset/count/disjointness kernels).
 pub(crate) struct RowIndex {
     pub(crate) row_cols: Vec<Vec<u32>>,
+    pub(crate) row_col_sets: Vec<BitSet>,
 }
 
 impl RowIndex {
@@ -51,34 +141,99 @@ impl RowIndex {
                 row_cols[r].push(c as u32);
             }
         }
-        RowIndex { row_cols }
+        let row_col_sets = row_cols
+            .iter()
+            .map(|cols| {
+                let mut s = BitSet::new(problem.num_columns());
+                for &c in cols {
+                    s.set(c as usize, true);
+                }
+                s
+            })
+            .collect();
+        RowIndex { row_cols, row_col_sets }
     }
 
-    /// The active columns covering row `r`.
-    pub(crate) fn active_cols_of(&self, state: &State, r: usize) -> Vec<u32> {
-        self.row_cols[r]
-            .iter()
-            .copied()
-            .filter(|&c| state.active_cols.get(c as usize))
-            .collect()
+    /// The active columns covering row `r`, in ascending order — an
+    /// iterator over the precomputed adjacency, so the hot path never
+    /// allocates a per-call `Vec`.
+    pub(crate) fn active_cols_of<'a>(
+        &'a self,
+        active_cols: &'a BitSet,
+        r: usize,
+    ) -> impl Iterator<Item = u32> + 'a {
+        self.row_cols[r].iter().copied().filter(move |&c| active_cols.get(c as usize))
+    }
+
+    /// How many active columns cover row `r`, early-exiting past `cap`.
+    pub(crate) fn active_count_capped(&self, active_cols: &BitSet, r: usize, cap: usize) -> usize {
+        self.row_col_sets[r].and_count_ones_capped(active_cols, cap)
+    }
+}
+
+/// Reusable per-worker scratch buffers for the reduction passes: cleared
+/// and refilled on every call, allocated once per search.
+pub(crate) struct Scratch {
+    /// Active-column count per row (dominance + lower bound).
+    pub(crate) row_count: Vec<u32>,
+    /// Active-row coverage count per column (column dominance).
+    pub(crate) col_count: Vec<u32>,
+    /// `(count, row)` pairs for the lower bound's constrained-first order.
+    pub(crate) lb_rows: Vec<(u32, u32)>,
+    /// Columns consumed by the disjoint-row lower bound.
+    pub(crate) used_cols: BitSet,
+    /// Per-depth branching-choice buffers `(sort key, column)`, reused
+    /// across all nodes at that depth.
+    pub(crate) choices: Vec<Vec<(u64, u32)>>,
+}
+
+impl Scratch {
+    pub(crate) fn new(problem: &CoverProblem) -> Scratch {
+        Scratch {
+            row_count: vec![0; problem.num_rows()],
+            col_count: vec![0; problem.num_columns()],
+            lb_rows: Vec::with_capacity(problem.num_rows()),
+            used_cols: BitSet::new(problem.num_columns()),
+            choices: Vec::new(),
+        }
+    }
+
+    /// Takes the depth-`d` choice buffer out of the pool (creating it on
+    /// first use). Return it with [`Scratch::put_choices`].
+    pub(crate) fn take_choices(&mut self, depth: usize) -> Vec<(u64, u32)> {
+        while self.choices.len() <= depth {
+            self.choices.push(Vec::new());
+        }
+        std::mem::take(&mut self.choices[depth])
+    }
+
+    pub(crate) fn put_choices(&mut self, depth: usize, buf: Vec<(u64, u32)>) {
+        self.choices[depth] = buf;
     }
 }
 
 /// Selects every *essential* column (the only active column covering some
 /// active row) until none remains. Returns `false` if an active row has no
-/// active covering column (the subproblem is infeasible).
-pub(crate) fn select_essentials(problem: &CoverProblem, index: &RowIndex, state: &mut State) -> bool {
+/// active covering column (the subproblem is infeasible). All mutations go
+/// through the trail.
+pub(crate) fn select_essentials(
+    problem: &CoverProblem,
+    index: &RowIndex,
+    state: &mut TrailState,
+) -> bool {
     loop {
         let mut changed = false;
-        for r in state.active_rows.clone().iter_ones() {
+        for r in 0..problem.num_rows() {
             if !state.active_rows.get(r) {
-                continue; // retired by an essential selected this sweep
+                continue; // already covered (possibly by an essential this sweep)
             }
-            let cols = index.active_cols_of(state, r);
-            match cols.len() {
+            match index.active_count_capped(&state.active_cols, r, 1) {
                 0 => return false,
                 1 => {
-                    state.select(problem, cols[0] as usize);
+                    let c = index.row_col_sets[r]
+                        .first_one_in(&state.active_cols)
+                        .expect("count said one column remains");
+                    state.select(problem, c);
                     changed = true;
                 }
                 _ => {}
@@ -91,102 +246,118 @@ pub(crate) fn select_essentials(problem: &CoverProblem, index: &RowIndex, state:
 }
 
 /// Removes dominated rows: if every active column covering row `s` also
-/// covers row `r` (`cols(s) ⊆ cols(r)`), covering `s` necessarily covers
-/// `r`, so `r` can be dropped from the constraint set.
-pub(crate) fn remove_dominated_rows(index: &RowIndex, state: &mut State) {
-    let rows: Vec<usize> = state.active_rows.iter_ones().collect();
-    let col_sets: Vec<Vec<u32>> = rows.iter().map(|&r| index.active_cols_of(state, r)).collect();
-    for (i, &r) in rows.iter().enumerate() {
-        for (j, &s) in rows.iter().enumerate() {
-            if i == j || !state.active_rows.get(r) || !state.active_rows.get(s) {
-                continue;
-            }
-            // r dominated by s: col_sets[j] ⊆ col_sets[i], tie-broken by
-            // index to avoid deleting both of two identical rows.
-            if col_sets[j].len() <= col_sets[i].len()
-                && (col_sets[j].len() < col_sets[i].len() || j < i)
-                && is_sorted_subset(&col_sets[j], &col_sets[i])
-            {
-                state.active_rows.set(r, false);
-            }
-        }
+/// covers row `r` (`cols(s) ⊆ cols(r)` within the active columns), covering
+/// `s` necessarily covers `r`, so `r` can be dropped from the constraint
+/// set. Pure word-level subset tests; ties broken by row index so two
+/// identical rows don't delete each other.
+pub(crate) fn remove_dominated_rows(index: &RowIndex, state: &mut TrailState, scratch: &mut Scratch) {
+    let n = index.row_cols.len();
+    for r in 0..n {
+        scratch.row_count[r] = if state.active_rows.get(r) {
+            index.row_col_sets[r].and_count_ones(&state.active_cols) as u32
+        } else {
+            0
+        };
     }
-}
-
-/// Removes dominated columns: if `rows(b) ∩ active ⊆ rows(a) ∩ active` and
-/// `cost(a) ≤ cost(b)`, column `b` never beats `a` and is dropped.
-pub(crate) fn remove_dominated_cols(problem: &CoverProblem, state: &mut State) {
-    let cols: Vec<usize> = state.active_cols.iter_ones().collect();
-    let masked: Vec<BitSet> = cols
-        .iter()
-        .map(|&c| {
-            let mut s = problem.rows_of(c).clone();
-            s.intersect_with(&state.active_rows);
-            s
-        })
-        .collect();
-    for (bi, &b) in cols.iter().enumerate() {
-        if masked[bi].none() {
-            state.active_cols.set(b, false);
+    for r in 0..n {
+        if !state.active_rows.get(r) {
             continue;
         }
-        for (ai, &a) in cols.iter().enumerate() {
-            if ai == bi || !state.active_cols.get(a) || !state.active_cols.get(b) {
+        for s in 0..n {
+            if s == r || !state.active_rows.get(s) {
                 continue;
             }
-            let dominates = problem.cost(a) <= problem.cost(b)
-                && masked[bi].is_subset_of(&masked[ai])
-                // Strictness or index tie-break so identical columns don't
-                // eliminate each other.
-                && (problem.cost(a) < problem.cost(b)
-                    || masked[bi].count_ones() < masked[ai].count_ones()
-                    || ai < bi);
-            if dominates {
-                state.active_cols.set(b, false);
+            let (cr, cs) = (scratch.row_count[r], scratch.row_count[s]);
+            if cs <= cr
+                && (cs < cr || s < r)
+                && index.row_col_sets[s].is_subset_within(
+                    &index.row_col_sets[r],
+                    &state.active_cols,
+                )
+            {
+                state.deactivate_row(r);
                 break;
             }
         }
     }
 }
 
-fn is_sorted_subset(small: &[u32], big: &[u32]) -> bool {
-    let mut it = big.iter();
-    'outer: for x in small {
-        for y in it.by_ref() {
-            match y.cmp(x) {
-                std::cmp::Ordering::Equal => continue 'outer,
-                std::cmp::Ordering::Greater => return false,
-                std::cmp::Ordering::Less => {}
+/// Removes dominated columns: if `rows(b) ∩ active ⊆ rows(a) ∩ active` and
+/// `cost(a) ≤ cost(b)`, column `b` never beats `a` and is dropped. Masked
+/// word-level subset tests — no per-pair set is ever materialized.
+pub(crate) fn remove_dominated_cols(
+    problem: &CoverProblem,
+    state: &mut TrailState,
+    scratch: &mut Scratch,
+) {
+    let n = problem.num_columns();
+    for c in 0..n {
+        scratch.col_count[c] = if state.active_cols.get(c) {
+            problem.rows_of(c).and_count_ones(&state.active_rows) as u32
+        } else {
+            0
+        };
+    }
+    for b in 0..n {
+        if !state.active_cols.get(b) {
+            continue;
+        }
+        if scratch.col_count[b] == 0 {
+            state.deactivate_col(b);
+            continue;
+        }
+        for a in 0..n {
+            if a == b || !state.active_cols.get(a) {
+                continue;
+            }
+            let dominates = problem.cost(a) <= problem.cost(b)
+                && problem.rows_of(b).is_subset_within(problem.rows_of(a), &state.active_rows)
+                // Strictness or index tie-break so identical columns don't
+                // eliminate each other.
+                && (problem.cost(a) < problem.cost(b)
+                    || scratch.col_count[b] < scratch.col_count[a]
+                    || a < b);
+            if dominates {
+                state.deactivate_col(b);
+                break;
             }
         }
-        return false;
     }
-    true
 }
 
 /// An additive lower bound on the cost of covering the remaining rows: a
-/// maximal set of pairwise column-disjoint rows, each contributing the cost
-/// of its cheapest covering column.
-pub(crate) fn lower_bound(problem: &CoverProblem, index: &RowIndex, state: &State) -> u64 {
-    let mut used_cols = BitSet::new(problem.num_columns());
+/// maximal set of pairwise column-disjoint rows (most constrained first),
+/// each contributing the cost of its cheapest active covering column.
+/// Disjointness and counts run on word-level kernels over the caller's
+/// scratch buffers.
+pub(crate) fn lower_bound(
+    problem: &CoverProblem,
+    index: &RowIndex,
+    state: &TrailState,
+    scratch: &mut Scratch,
+) -> u64 {
+    scratch.lb_rows.clear();
+    for r in state.active_rows.iter_ones() {
+        let count = index.row_col_sets[r].and_count_ones(&state.active_cols) as u32;
+        scratch.lb_rows.push((count, r as u32));
+    }
+    // Most constrained rows first; the (count, row) key is a total order,
+    // so the greedy packing is deterministic.
+    scratch.lb_rows.sort_unstable();
+    scratch.used_cols.clear();
     let mut bound = 0u64;
-    // Visit rows with fewer covering columns first: they are the most
-    // constrained and give the tightest independent set.
-    let mut rows: Vec<(usize, Vec<u32>)> = state
-        .active_rows
-        .iter_ones()
-        .map(|r| (r, index.active_cols_of(state, r)))
-        .collect();
-    rows.sort_by_key(|(_, cols)| cols.len());
-    for (_, cols) in rows {
-        if cols.iter().any(|&c| used_cols.get(c as usize)) {
+    for &(_, r) in scratch.lb_rows.iter() {
+        let r = r as usize;
+        if index.row_col_sets[r].intersects(&scratch.used_cols) {
             continue;
         }
-        let min_cost = cols.iter().map(|&c| problem.cost(c as usize)).min().unwrap_or(0);
+        let min_cost = index
+            .active_cols_of(&state.active_cols, r)
+            .map(|c| problem.cost(c as usize))
+            .min()
+            .unwrap_or(0);
         bound += min_cost;
-        for c in cols {
-            used_cols.set(c as usize, true);
-        }
+        scratch.used_cols.union_with_masked(&index.row_col_sets[r], &state.active_cols);
     }
     bound
 }
@@ -208,7 +379,7 @@ mod tests {
     fn essentials_select_forced_columns() {
         let p = problem();
         let index = RowIndex::build(&p);
-        let mut st = State::root(&p);
+        let mut st = TrailState::root(&p);
         assert!(select_essentials(&p, &index, &mut st));
         // Row 0 is only covered by column 0: forced.
         assert!(st.selected.contains(&0));
@@ -219,8 +390,47 @@ mod tests {
         let mut p = CoverProblem::new(2);
         p.add_column(&[0], 1);
         let index = RowIndex::build(&p);
-        let mut st = State::root(&p);
+        let mut st = TrailState::root(&p);
         assert!(!select_essentials(&p, &index, &mut st));
+    }
+
+    #[test]
+    fn trail_round_trips_selections_and_removals() {
+        let p = problem();
+        let mut st = TrailState::root(&p);
+        let rows0 = st.active_rows.clone();
+        let cols0 = st.active_cols.clone();
+        let mark = st.mark();
+        st.select(&p, 0);
+        st.deactivate_col(3);
+        st.deactivate_row(2);
+        assert_eq!(st.selected, vec![0]);
+        assert_eq!(st.cost, 2);
+        assert_eq!(st.rows_left(), 1); // rows 0,1 covered, row 2 retired
+        assert_eq!(st.cols_left(), 2);
+        st.undo_to(&p, mark);
+        assert_eq!(st.active_rows, rows0);
+        assert_eq!(st.active_cols, cols0);
+        assert!(st.selected.is_empty());
+        assert_eq!(st.cost, 0);
+        assert_eq!(st.rows_left(), 4);
+        assert_eq!(st.cols_left(), 4);
+    }
+
+    #[test]
+    fn nested_marks_unwind_independently() {
+        let p = problem();
+        let mut st = TrailState::root(&p);
+        let outer = st.mark();
+        st.select(&p, 2);
+        let inner = st.mark();
+        st.select(&p, 0);
+        st.undo_to(&p, inner);
+        assert_eq!(st.selected, vec![2]);
+        assert_eq!(st.cost, 1);
+        st.undo_to(&p, outer);
+        assert!(st.selected.is_empty());
+        assert!(st.done() == (p.num_rows() == 0));
     }
 
     #[test]
@@ -230,8 +440,9 @@ mod tests {
         p.add_column(&[0, 1], 1);
         p.add_column(&[1], 1);
         let index = RowIndex::build(&p);
-        let mut st = State::root(&p);
-        remove_dominated_rows(&index, &mut st);
+        let mut st = TrailState::root(&p);
+        let mut scratch = Scratch::new(&p);
+        remove_dominated_rows(&index, &mut st, &mut scratch);
         assert!(st.active_rows.get(0));
         assert!(!st.active_rows.get(1)); // covering row 0 covers row 1
     }
@@ -242,8 +453,9 @@ mod tests {
         p.add_column(&[0, 1], 2); // dominates
         p.add_column(&[0], 2); // dominated: fewer rows, same cost
         p.add_column(&[0, 1], 9); // dominated: same rows, higher cost
-        let mut st = State::root(&p);
-        remove_dominated_cols(&p, &mut st);
+        let mut st = TrailState::root(&p);
+        let mut scratch = Scratch::new(&p);
+        remove_dominated_cols(&p, &mut st, &mut scratch);
         assert!(st.active_cols.get(0));
         assert!(!st.active_cols.get(1));
         assert!(!st.active_cols.get(2));
@@ -254,8 +466,9 @@ mod tests {
         let mut p = CoverProblem::new(1);
         p.add_column(&[0], 1);
         p.add_column(&[0], 1);
-        let mut st = State::root(&p);
-        remove_dominated_cols(&p, &mut st);
+        let mut st = TrailState::root(&p);
+        let mut scratch = Scratch::new(&p);
+        remove_dominated_cols(&p, &mut st, &mut scratch);
         assert_eq!(st.active_cols.count_ones(), 1);
     }
 
@@ -265,14 +478,31 @@ mod tests {
         p.add_column(&[0], 3);
         p.add_column(&[1], 4);
         let index = RowIndex::build(&p);
-        let st = State::root(&p);
-        assert_eq!(lower_bound(&p, &index, &st), 7);
+        let st = TrailState::root(&p);
+        let mut scratch = Scratch::new(&p);
+        assert_eq!(lower_bound(&p, &index, &st, &mut scratch), 7);
     }
 
     #[test]
-    fn sorted_subset_helper() {
-        assert!(is_sorted_subset(&[1, 3], &[0, 1, 2, 3]));
-        assert!(!is_sorted_subset(&[1, 4], &[0, 1, 2, 3]));
-        assert!(is_sorted_subset(&[], &[5]));
+    fn active_cols_iterator_respects_the_active_set() {
+        let p = problem();
+        let index = RowIndex::build(&p);
+        let mut st = TrailState::root(&p);
+        assert_eq!(index.active_cols_of(&st.active_cols, 1).collect::<Vec<_>>(), vec![0, 1]);
+        st.deactivate_col(0);
+        assert_eq!(index.active_cols_of(&st.active_cols, 1).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(index.active_cols_of(&st.active_cols, 3).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn choice_buffers_are_pooled_per_depth() {
+        let p = problem();
+        let mut scratch = Scratch::new(&p);
+        let mut buf = scratch.take_choices(2);
+        buf.push((7, 1));
+        scratch.put_choices(2, buf);
+        let buf = scratch.take_choices(2);
+        assert!(buf.capacity() >= 1); // the allocation survived the round trip
+        assert!(buf.is_empty() || buf == vec![(7, 1)]);
     }
 }

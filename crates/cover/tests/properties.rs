@@ -1,7 +1,7 @@
 //! Property-based tests of the covering solvers against brute force.
 
 use proptest::prelude::*;
-use spp_cover::{solve_auto, solve_exact, solve_greedy, CoverProblem, Limits};
+use spp_cover::{solve_auto, solve_exact, solve_greedy, CoverProblem, Limits, Parallelism};
 
 #[derive(Clone, Debug)]
 struct Instance {
@@ -77,11 +77,26 @@ proptest! {
     fn auto_is_a_valid_cover_under_any_budget(inst in instance_strategy(), nodes in 1u64..100) {
         let p = build(&inst);
         prop_assume!(!p.has_uncoverable_row());
-        let limits = Limits { max_nodes: nodes, ..Limits::default() };
+        let limits = Limits::default().with_max_nodes(nodes);
         let sol = solve_auto(&p, &limits);
         prop_assert!(p.is_cover(&sol.columns));
         if sol.optimal {
             prop_assert_eq!(Some(sol.cost), brute_force(&p));
+        }
+    }
+
+    #[test]
+    fn parallel_exact_is_bit_identical_to_sequential(inst in instance_strategy()) {
+        let p = build(&inst);
+        prop_assume!(!p.has_uncoverable_row());
+        let sequential = solve_exact(&p, &Limits::default(), None);
+        prop_assert!(p.is_cover(&sequential.columns));
+        for threads in [2usize, 4] {
+            let limits = Limits::default().with_parallelism(Parallelism::fixed(threads));
+            let parallel = solve_exact(&p, &limits, None);
+            prop_assert_eq!(&parallel.columns, &sequential.columns, "threads={}", threads);
+            prop_assert_eq!(parallel.cost, sequential.cost, "threads={}", threads);
+            prop_assert_eq!(parallel.optimal, sequential.optimal, "threads={}", threads);
         }
     }
 

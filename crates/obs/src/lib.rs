@@ -179,6 +179,23 @@ pub enum Event {
         /// Nodes explored when it was found.
         nodes: u64,
     },
+    /// A parallel branch & bound worker began one root subtree (one root
+    /// branching decision explored as an independent search).
+    CoverSubtreeStarted {
+        /// Subtree rank in the root branching order (determinism key).
+        index: usize,
+        /// The column selected at the root of this subtree.
+        column: usize,
+    },
+    /// A parallel branch & bound worker finished one root subtree.
+    CoverSubtreeFinished {
+        /// Subtree rank in the root branching order.
+        index: usize,
+        /// Nodes this subtree explored.
+        nodes: u64,
+        /// Whether this subtree improved the shared incumbent.
+        improved: bool,
+    },
     /// The covering step finished.
     CoverFinished {
         /// Cost (literals) of the returned cover.
@@ -223,6 +240,13 @@ impl Event {
             Event::CoverImproved { cost, nodes } => format!(
                 "{{\"event\":\"cover_improved\",\"cost\":{cost},\"nodes\":{nodes}}}"
             ),
+            Event::CoverSubtreeStarted { index, column } => format!(
+                "{{\"event\":\"cover_subtree_started\",\"index\":{index},\"column\":{column}}}"
+            ),
+            Event::CoverSubtreeFinished { index, nodes, improved } => format!(
+                "{{\"event\":\"cover_subtree_finished\",\"index\":{index},\"nodes\":{nodes},\
+                 \"improved\":{improved}}}"
+            ),
             Event::CoverFinished { cost, nodes, optimal } => format!(
                 "{{\"event\":\"cover_finished\",\"cost\":{cost},\"nodes\":{nodes},\
                  \"optimal\":{optimal}}}"
@@ -256,6 +280,14 @@ impl fmt::Display for Event {
             Event::CoverImproved { cost, nodes } => {
                 write!(f, "cover: incumbent improved to {cost} literals at {nodes} nodes")
             }
+            Event::CoverSubtreeStarted { index, column } => {
+                write!(f, "cover: subtree {index} started (root column {column})")
+            }
+            Event::CoverSubtreeFinished { index, nodes, improved } => write!(
+                f,
+                "cover: subtree {index} done after {nodes} nodes{}",
+                if *improved { " (improved the incumbent)" } else { "" }
+            ),
             Event::CoverFinished { cost, nodes, optimal } => write!(
                 f,
                 "cover: done — {cost} literals after {nodes} nodes{}",
@@ -683,6 +715,24 @@ mod tests {
         .to_string();
         assert!(s.contains("cover"));
         assert!(s.contains("deadline_exceeded"));
+    }
+
+    #[test]
+    fn cover_subtree_events_serialize() {
+        let started = Event::CoverSubtreeStarted { index: 3, column: 17 };
+        assert_eq!(
+            started.to_json(),
+            "{\"event\":\"cover_subtree_started\",\"index\":3,\"column\":17}"
+        );
+        assert!(started.to_string().contains("subtree 3"));
+        let finished = Event::CoverSubtreeFinished { index: 3, nodes: 512, improved: true };
+        assert_eq!(
+            finished.to_json(),
+            "{\"event\":\"cover_subtree_finished\",\"index\":3,\"nodes\":512,\"improved\":true}"
+        );
+        assert!(finished.to_string().contains("improved the incumbent"));
+        let quiet = Event::CoverSubtreeFinished { index: 0, nodes: 1, improved: false };
+        assert!(!quiet.to_string().contains("improved"));
     }
 
     #[test]

@@ -30,4 +30,9 @@ cargo check -p spp-bench --benches --features criterion-benches
 echo "==> CLI deadline smoke (--deadline-ms 1 must degrade, not break)"
 ./target/release/spp bench life --deadline-ms 1 --quiet | grep -q "deadline_exceeded"
 
+echo "==> bench schema smoke (report --json must emit spp-bench/3)"
+./target/release/report --json --threads 1 -o /tmp/spp-ci-bench.json >/dev/null
+jq -e '.schema == "spp-bench/3"' /tmp/spp-ci-bench.json >/dev/null
+rm -f /tmp/spp-ci-bench.json
+
 echo "ci: all gates passed"

@@ -284,7 +284,13 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
         for (f, label) in outputs.iter().zip(labels) {
             let session = configure(f, &spp_options, options.threads, deadline_at, &sink);
             let (form, tag, optimal, outcome) = if options.sp {
-                let r = minimize_sp(f, &spp_options.cover_limits);
+                // SP covering honours --threads too: parallelism rides
+                // inside the covering limits.
+                let mut limits = spp_options.cover_limits.clone();
+                if let Some(n) = options.threads {
+                    limits = limits.with_parallelism(spp::cover::Parallelism::fixed(n));
+                }
+                let r = minimize_sp(f, &limits);
                 let form = SppForm::new(
                     f.num_vars(),
                     r.form.cubes().iter().map(spp::core::Pseudocube::from_cube).collect(),

@@ -45,7 +45,10 @@ fn brute_force_optimum(f: &BoolFn) -> u64 {
             .collect();
         problem.add_column(&rows, pc.literal_count().max(1));
     }
-    let limits = Limits { max_nodes: u64::MAX, time_limit: None, max_exact_columns: usize::MAX };
+    let limits = Limits::default()
+        .with_max_nodes(u64::MAX)
+        .with_time_limit(None)
+        .with_max_exact_columns(usize::MAX);
     let solution = solve_exact(&problem, &limits, None);
     assert!(solution.optimal, "brute force cover must be exact");
     solution
@@ -58,11 +61,12 @@ fn brute_force_optimum(f: &BoolFn) -> u64 {
 #[test]
 fn algorithm2_reaches_the_true_optimum_on_all_3var_functions() {
     // All 255 non-zero functions on 3 variables.
-    let options = SppOptions::default().with_cover_limits(Limits {
-        max_nodes: u64::MAX,
-        time_limit: None,
-        max_exact_columns: usize::MAX,
-    });
+    let options = SppOptions::default().with_cover_limits(
+        Limits::default()
+            .with_max_nodes(u64::MAX)
+            .with_time_limit(None)
+            .with_max_exact_columns(usize::MAX),
+    );
     for tt in 1u16..=255 {
         let f = BoolFn::from_truth_fn(3, |x| tt >> x & 1 == 1);
         let ours = Minimizer::new(&f).options(options.clone()).run_exact();
@@ -80,11 +84,12 @@ fn algorithm2_reaches_the_true_optimum_on_all_3var_functions() {
 
 #[test]
 fn algorithm2_reaches_the_true_optimum_on_sampled_4var_functions() {
-    let options = SppOptions::default().with_cover_limits(Limits {
-        max_nodes: u64::MAX,
-        time_limit: None,
-        max_exact_columns: usize::MAX,
-    });
+    let options = SppOptions::default().with_cover_limits(
+        Limits::default()
+            .with_max_nodes(u64::MAX)
+            .with_time_limit(None)
+            .with_max_exact_columns(usize::MAX),
+    );
     // A deterministic sample of 4-variable functions with ≤ 9 minterms
     // (brute force enumerates subsets of the ON-set).
     let mut seed = 0x1234_5678_9abc_def0u64;

@@ -9,11 +9,12 @@ use spp::cover::Limits;
 use spp::sp::minimize_sp;
 
 fn options() -> SppOptions {
-    SppOptions::default().with_cover_limits(Limits {
-        max_nodes: 500_000,
-        time_limit: Some(std::time::Duration::from_secs(5)),
-        max_exact_columns: 20_000,
-    })
+    SppOptions::default().with_cover_limits(
+        Limits::default()
+            .with_max_nodes(500_000)
+            .with_time_limit(Some(std::time::Duration::from_secs(5)))
+            .with_max_exact_columns(20_000),
+    )
 }
 
 /// Paper Table 1, adr4 row (SP side): #PI = 75, #L = 340, #P = 75.

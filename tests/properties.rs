@@ -123,6 +123,21 @@ proptest! {
             "SPP {} > SP {}", spp.literal_count(), sp.literal_count());
     }
 
+    /// The exact minimizer's cover verifies with `verify_cover`, and the
+    /// whole pipeline (generation + covering) returns a bit-identical
+    /// form when run on 2 or 4 worker threads.
+    #[test]
+    fn exact_cover_verifies_at_any_thread_count(f in small_fn()) {
+        let sequential = Minimizer::new(&f).run_exact();
+        prop_assert!(spp::core::verify_cover(&f, sequential.form.terms()).is_ok());
+        for threads in [2usize, 4] {
+            let parallel = Minimizer::new(&f).threads(threads).run_exact();
+            prop_assert!(spp::core::verify_cover(&f, parallel.form.terms()).is_ok());
+            prop_assert_eq!(
+                parallel.form.terms(), sequential.form.terms(), "threads={}", threads);
+        }
+    }
+
     /// SPP_k quality is monotone in k and SPP_{n−1} is exact.
     #[test]
     fn heuristic_monotone_and_exact_at_full_depth(f in small_fn()) {
