@@ -247,10 +247,36 @@ impl FromStr for Pla {
                 let directive = parts.next().unwrap_or("");
                 match directive {
                     "i" => {
-                        num_inputs = Some(parse_num(parts.next(), lineno, ".i")?);
+                        let n = parse_num(parts.next(), lineno, ".i")?;
+                        if n > spp_gf2::MAX_BITS {
+                            return Err(ParsePlaError::Syntax {
+                                line: lineno,
+                                message: format!(
+                                    ".i {n} exceeds the supported maximum of {} inputs",
+                                    spp_gf2::MAX_BITS
+                                ),
+                            });
+                        }
+                        // Term rows are validated against the declared
+                        // width as they are read; silently changing it
+                        // afterwards would invalidate them.
+                        if num_inputs.is_some_and(|prev| prev != n) {
+                            return Err(ParsePlaError::Syntax {
+                                line: lineno,
+                                message: format!(".i redeclared as {n}"),
+                            });
+                        }
+                        num_inputs = Some(n);
                     }
                     "o" => {
-                        num_outputs = Some(parse_num(parts.next(), lineno, ".o")?);
+                        let n = parse_num(parts.next(), lineno, ".o")?;
+                        if num_outputs.is_some_and(|prev| prev != n) {
+                            return Err(ParsePlaError::Syntax {
+                                line: lineno,
+                                message: format!(".o redeclared as {n}"),
+                            });
+                        }
+                        num_outputs = Some(n);
                     }
                     "p" => {
                         let _ = parse_num(parts.next(), lineno, ".p")?;
@@ -286,12 +312,24 @@ impl FromStr for Pla {
                 // separated by whitespace or '|'.
                 let cleaned: String =
                     line.chars().filter(|c| !c.is_whitespace() && *c != '|').collect();
+                // Term characters are all ASCII; rejecting other bytes
+                // here keeps the `cleaned[..ni]` split on char bounds.
+                if !cleaned.is_ascii() {
+                    return Err(ParsePlaError::Syntax {
+                        line: lineno,
+                        message: "term row contains non-ASCII characters".to_owned(),
+                    });
+                }
                 let ni = num_inputs.ok_or(ParsePlaError::MissingInputs)?;
                 let no = num_outputs.ok_or(ParsePlaError::MissingOutputs)?;
-                if cleaned.len() != ni + no {
+                let width = ni.checked_add(no).ok_or_else(|| ParsePlaError::Syntax {
+                    line: lineno,
+                    message: ".i plus .o overflows".to_owned(),
+                })?;
+                if cleaned.len() != width {
                     return Err(ParsePlaError::WrongWidth {
                         line: lineno,
-                        expected: ni + no,
+                        expected: width,
                         found: cleaned.len(),
                     });
                 }

@@ -47,4 +47,91 @@ proptest! {
         let again: Pla = pla.to_pla_string().parse().expect("emitted PLA parses");
         prop_assert_eq!(pla.output_fns(), again.output_fns());
     }
+
+    /// Character soup including multi-byte characters never panics: term
+    /// rows with non-ASCII bytes must be rejected, not byte-sliced.
+    #[test]
+    fn arbitrary_unicode_never_panics(text in "[ -~\né-ÿ☀-☋]{0,120}") {
+        let _ = text.parse::<Pla>();
+    }
+
+    /// Oversized and overflowing `.i`/`.o` declarations are errors, not
+    /// assertion failures.
+    #[test]
+    fn huge_dimension_headers_never_panic(i in 0u64..=u64::MAX, o in 0u64..=u64::MAX) {
+        let text = format!(".i {i}\n.o {o}\n11 1\n.e\n");
+        let _ = text.parse::<Pla>();
+    }
+
+    /// Truncated prefixes of a valid file parse or fail cleanly — a
+    /// header cut mid-stream must not panic downstream validation.
+    #[test]
+    fn truncated_files_never_panic(cut in 0usize..=60) {
+        let full = ".i 3\n.o 2\n.type fd\n1-0 10\n011 11\n.e\n";
+        let cut = cut.min(full.len());
+        // Cut at a char boundary (the file is ASCII, so any byte works).
+        let _ = full[..cut].parse::<Pla>();
+    }
+
+    /// Duplicated headers: re-declaring `.i`/`.o` (possibly after term
+    /// rows were validated against the old width) never panics — it
+    /// either parses (same value) or returns a typed error.
+    #[test]
+    fn duplicated_headers_never_panic(i1 in 1usize..5, i2 in 1usize..5, after_terms in any::<bool>()) {
+        let term = "1".repeat(i1 + 1);
+        let text = if after_terms {
+            format!(".i {i1}\n.o 1\n{term}\n.i {i2}\n.e\n")
+        } else {
+            format!(".i {i1}\n.i {i2}\n.o 1\n{term}\n.e\n")
+        };
+        match text.parse::<Pla>() {
+            Ok(pla) => prop_assert_eq!(pla.num_inputs(), i1),
+            Err(_) => prop_assert!(i1 != i2),
+        }
+    }
+}
+
+/// Deterministic regressions for the parser panics the fuzz classes above
+/// hunt: each of these inputs used to abort instead of returning `Err`.
+mod regressions {
+    use spp_boolfn::{ParsePlaError, Pla};
+
+    #[test]
+    fn i_beyond_max_bits_is_a_syntax_error() {
+        let err = ".i 9999\n.o 1\n.e\n".parse::<Pla>().unwrap_err();
+        assert!(matches!(err, ParsePlaError::Syntax { line: 1, .. }), "{err:?}");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn i_plus_o_overflow_is_a_syntax_error() {
+        let max = u64::MAX;
+        let text = format!(".i 64\n.o {max}\n11 1\n.e\n");
+        let err = text.parse::<Pla>().unwrap_err();
+        assert!(matches!(err, ParsePlaError::WrongWidth { .. } | ParsePlaError::Syntax { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn redeclared_width_after_terms_is_a_syntax_error() {
+        // The term row was validated against .i 2; silently switching to
+        // .i 3 used to panic when the cube was rebuilt at width 3.
+        let err = ".i 2\n.o 1\n11 1\n.i 3\n.e\n".parse::<Pla>().unwrap_err();
+        assert!(matches!(err, ParsePlaError::Syntax { line: 4, .. }), "{err:?}");
+        assert!(err.to_string().contains("redeclared"), "{err}");
+    }
+
+    #[test]
+    fn redeclaring_the_same_width_is_harmless() {
+        let pla = ".i 2\n.o 1\n11 1\n.i 2\n.e\n".parse::<Pla>().unwrap();
+        assert_eq!(pla.num_terms(), 1);
+    }
+
+    #[test]
+    fn non_ascii_term_rows_are_syntax_errors() {
+        // "é1" is 3 bytes / 2 chars: byte-slicing it at .i 1 used to
+        // panic on the char boundary.
+        let err = ".i 1\n.o 2\né1\n.e\n".parse::<Pla>().unwrap_err();
+        assert!(matches!(err, ParsePlaError::Syntax { line: 3, .. }), "{err:?}");
+        assert!(err.to_string().contains("non-ASCII"), "{err}");
+    }
 }

@@ -59,6 +59,16 @@ pub enum SppError {
         /// A textual rendering of the offending cube.
         cube: String,
     },
+    /// A worker thread panicked mid-phase and was isolated (see
+    /// [`spp_obs::Fault`]). Sessions recover from worker panics and
+    /// return a valid best-so-far form — this variant is the typed form
+    /// of the caught fault for callers that treat any fault as an error.
+    WorkerPanic {
+        /// The isolation site that caught the panic (e.g. `cover.subtree`).
+        site: String,
+        /// Best-effort panic payload text.
+        message: String,
+    },
 }
 
 impl fmt::Display for SppError {
@@ -85,7 +95,16 @@ impl fmt::Display for SppError {
             SppError::SeedNotImplicant { cube } => {
                 write!(f, "seed cube {cube} is not an implicant")
             }
+            SppError::WorkerPanic { site, message } => {
+                write!(f, "worker panic at {site}: {message}")
+            }
         }
+    }
+}
+
+impl From<spp_obs::Fault> for SppError {
+    fn from(fault: spp_obs::Fault) -> Self {
+        SppError::WorkerPanic { site: fault.site, message: fault.message }
     }
 }
 
@@ -144,6 +163,23 @@ mod tests {
         assert!(e.to_string().contains("must cover the ON-set"));
         let e = SppError::SeedNotImplicant { cube: "1-0".into() };
         assert!(e.to_string().contains("not an implicant"));
+        let e = SppError::WorkerPanic { site: "cover.subtree".into(), message: "boom".into() };
+        assert_eq!(e.to_string(), "worker panic at cover.subtree: boom");
+    }
+
+    #[test]
+    fn caught_faults_convert_to_the_typed_error() {
+        // `Fault` is non-exhaustive, so obtain one the way sessions do:
+        // through a run context that caught a panic.
+        let ctx = spp_obs::RunCtx::new();
+        ctx.record_fault("generate.worker", "injected");
+        let fault = ctx.faults().into_iter().next().expect("fault recorded");
+        let err: SppError = fault.into();
+        assert_eq!(
+            err,
+            SppError::WorkerPanic { site: "generate.worker".into(), message: "injected".into() }
+        );
+        assert!(std::error::Error::source(&err).is_none());
     }
 
     #[test]

@@ -28,14 +28,23 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::PoisonError;
 use std::time::{Duration, Instant};
 
 use spp_boolfn::BoolFn;
 use spp_gf2::EchelonBasis;
 use spp_obs::{Event, Outcome, RunCtx};
-use spp_par::{par_map, par_workers, Parallelism};
+use spp_par::{par_map, try_par_workers, Parallelism};
 
 use crate::{PartitionTrie, Pseudocube};
+
+/// Approximate footprint of one generated pseudocube (the struct plus its
+/// basis rows), charged to the context's resource governor per *distinct*
+/// union. An accounting estimate, not an allocator measurement.
+pub(crate) fn approx_pseudocube_bytes(pc: &Pseudocube) -> u64 {
+    (std::mem::size_of::<Pseudocube>()
+        + pc.degree() * (std::mem::size_of::<spp_gf2::Gf2Vec>() + 2)) as u64
+}
 
 /// How same-structure pseudocubes are grouped before pairwise union.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -323,16 +332,26 @@ pub(crate) fn generate_eppp_session(
     };
     let mut degree = 0usize;
 
+    // Charge the degree-0 points so a budget too small for even the
+    // ON-set trips before any sweep.
+    ctx.governor().charge(level.iter().map(approx_pseudocube_bytes).sum());
+
     while !level.is_empty() {
         let level_start = Instant::now();
+        // Injection point for memory-pressure / slow-level faults (a Panic
+        // armed here unwinds the session — use `generate.worker` for
+        // isolated worker faults).
+        ctx.failpoint("generate.level");
         // One counted checkpoint per level: the deterministic anchor for
-        // `cancel_after_checkpoints` fuses.
+        // `cancel_after_checkpoints` fuses. Also observes a blown hard
+        // memory budget (via the governor in `stop_reason`).
         if let Some(reason) = ctx.checkpoint() {
             stats.outcome = stats.outcome.merge(reason);
         }
         let over_budget = stats.truncated
             || stats.total_generated > limits.max_pseudocubes
             || level.len() > limits.max_level_size
+            || ctx.governor().soft_exceeded()
             || !stats.outcome.is_completed();
         if over_budget {
             // Keep the whole (conforming part of the) level: every
@@ -486,7 +505,14 @@ pub(crate) fn sweep_level(
         (0..workers).map(|_| std::sync::Mutex::new(HashSet::new())).collect();
     let stop = AtomicBool::new(false);
     let produced = AtomicUsize::new(0);
-    let outs: Vec<WorkerOut> = par_workers(workers, |w| {
+    // Workers run behind a panic-isolation boundary: a panicking worker
+    // (a bug, or an injected `generate.worker`/`generate.shard` fault)
+    // loses its own discards and counters, but every union it already
+    // deduplicated survives in the shards, a possibly-poisoned shard lock
+    // is recovered below, and the level is treated as truncated —
+    // keep-everything, so the valid-cover guarantee holds.
+    let outs = try_par_workers(workers, |w| {
+        ctx.failpoint("generate.worker");
         let mut discards: Vec<u32> = Vec::new();
         let mut unions = 0u64;
         let mut ops = 0u64;
@@ -519,9 +545,16 @@ pub(crate) fn sweep_level(
                         }
                     }
                     unions += 1;
+                    let bytes = approx_pseudocube_bytes(&u);
                     let shard = (u.structure().structure_hash() % workers as u64) as usize;
-                    if shards[shard].lock().expect("shard poisoned").insert(u) {
+                    let mut shard_set =
+                        shards[shard].lock().unwrap_or_else(PoisonError::into_inner);
+                    // Held-lock injection point: proves poison recovery.
+                    ctx.failpoint("generate.shard");
+                    if shard_set.insert(u) {
+                        drop(shard_set);
                         produced.fetch_add(1, Ordering::Relaxed);
+                        ctx.governor().charge(bytes);
                     }
                 }
             }
@@ -529,17 +562,32 @@ pub(crate) fn sweep_level(
         WorkerOut { discards, unions, truncated }
     });
 
-    let truncated = outs.iter().any(|o| o.truncated);
+    let mut worker_panicked = false;
+    let mut truncated = false;
     let mut discarded = vec![false; level.len()];
     let mut thread_unions = vec![0u64; workers];
     for (w, out) in outs.into_iter().enumerate() {
-        thread_unions[w] = out.unions;
-        for &i in &out.discards {
-            discarded[i as usize] = true;
+        match out {
+            Ok(out) => {
+                truncated |= out.truncated;
+                thread_unions[w] = out.unions;
+                for &i in &out.discards {
+                    discarded[i as usize] = true;
+                }
+            }
+            Err(p) => {
+                worker_panicked = true;
+                ctx.record_fault("generate.worker", &p.message);
+            }
         }
     }
+    truncated |= worker_panicked;
     let merged: Vec<Vec<Pseudocube>> = par_map(workers, shards, |shard| {
-        shard.into_inner().expect("shard poisoned").into_iter().collect()
+        shard
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .collect()
     });
     let mut next: Vec<Pseudocube> = merged.into_iter().flatten().collect();
     next.sort_unstable();
@@ -582,7 +630,10 @@ fn sweep_level_sequential(
             }
         }
         unions += 1;
-        next.insert(u);
+        let bytes = approx_pseudocube_bytes(&u);
+        if next.insert(u) {
+            ctx.governor().charge(bytes);
+        }
     };
 
     let num_groups;

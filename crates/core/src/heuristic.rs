@@ -5,7 +5,9 @@ use std::collections::HashSet;
 use spp_boolfn::BoolFn;
 use spp_obs::{Event, Outcome, Phase, RunCtx};
 
-use crate::generate::{sweep_level, SweepOutcome};
+use spp_obs::Rung;
+
+use crate::generate::{approx_pseudocube_bytes, sweep_level, SweepOutcome};
 use crate::minimize::cover_with_candidates;
 use crate::{
     sub_pseudocubes, GenStats, Grouping, LevelStats, Pseudocube, SppError, SppMinResult,
@@ -159,6 +161,7 @@ pub(crate) fn heuristic_from_cover_session(
     let mut outcome = Outcome::Completed;
     let mut generated: usize = levels.iter().map(HashSet::len).sum();
     'descent: for i in 1..=k {
+        ctx.failpoint("heuristic.descent");
         // One counted checkpoint per descent step: the deterministic
         // anchor for `cancel_after_checkpoints` fuses.
         if let Some(reason) = ctx.checkpoint() {
@@ -175,8 +178,10 @@ pub(crate) fn heuristic_from_cover_session(
                 break 'descent;
             }
             for sub in sub_pseudocubes(&r) {
+                let bytes = approx_pseudocube_bytes(&sub);
                 if levels[d - 1].insert(sub) {
                     generated += 1;
+                    ctx.governor().charge(bytes);
                     if generated > options.gen_limits.max_pseudocubes {
                         truncated = true;
                         break 'descent;
@@ -314,6 +319,8 @@ pub(crate) fn heuristic_from_cover_session(
         gen_elapsed,
         cover_elapsed,
         outcome,
+        rung: Rung::Heuristic,
+        faults: ctx.faults(),
     })
 }
 

@@ -95,7 +95,8 @@ pub use multi::{minimize_spp_multi, MultiSppResult};
 pub use pseudocube::Pseudocube;
 pub use session::{Minimizer, MultiMinimizer};
 pub use spp_obs::{
-    CancelToken, Event, EventSink, JsonLinesSink, NullSink, Outcome, Phase, RunCtx, StderrSink,
+    CancelToken, Event, EventSink, Fault, JsonLinesSink, NullSink, Outcome, Phase,
+    ResourceGovernor, RunCtx, Rung, StderrSink,
 };
 pub use spp_par::Parallelism;
 #[allow(deprecated)]

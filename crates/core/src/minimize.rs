@@ -2,7 +2,7 @@
 
 use spp_boolfn::BoolFn;
 use spp_cover::{solve_auto_ctx, CoverProblem};
-use spp_obs::{Event, Outcome, Phase, RunCtx};
+use spp_obs::{Event, Fault, Outcome, Phase, RunCtx, Rung};
 
 use crate::generate::generate_eppp_session;
 use crate::{GenLimits, GenStats, Grouping, Pseudocube, SppForm};
@@ -74,9 +74,20 @@ pub struct SppMinResult {
     /// Wall-clock time of the set-covering phase.
     pub cover_elapsed: std::time::Duration,
     /// How the run ended: [`Outcome::Completed`], or the phase-merged
-    /// deadline/cancellation cause. Any non-completed outcome implies the
-    /// form is a valid best-so-far upper bound (`optimal` is then false).
+    /// deadline/cancellation/memory cause. Any non-completed outcome
+    /// implies the form is a valid best-so-far upper bound (`optimal` is
+    /// then false).
     pub outcome: Outcome,
+    /// Which degradation-ladder rung produced the form. The direct
+    /// `run_exact` / `run_restricted` / `run_heuristic` sessions report
+    /// their own rung; [`crate::Minimizer::run_governed`] may have
+    /// descended under memory pressure.
+    pub rung: Rung,
+    /// Worker panics caught and isolated during the run (cumulative over
+    /// the session's [`RunCtx`]). A non-empty list means part of the
+    /// search was lost — the form is still valid, but `optimal` is not
+    /// claimed by a faulted phase.
+    pub faults: Vec<Fault>,
 }
 
 impl SppMinResult {
@@ -176,6 +187,8 @@ pub(crate) fn exact_session(f: &BoolFn, options: &SppOptions, ctx: &RunCtx) -> S
         gen_elapsed,
         cover_elapsed,
         outcome,
+        rung: Rung::Exact,
+        faults: ctx.faults(),
     }
 }
 

@@ -12,7 +12,7 @@
 //! - `k ≥ n` places no restriction and agrees with full SPP.
 
 use spp_boolfn::BoolFn;
-use spp_obs::{Event, Phase, RunCtx};
+use spp_obs::{Event, Phase, RunCtx, Rung};
 
 use crate::generate::generate_eppp_session;
 use crate::minimize::cover_with_candidates;
@@ -180,6 +180,8 @@ pub(crate) fn restricted_session(
         gen_elapsed,
         cover_elapsed,
         outcome,
+        rung: Rung::RestrictedExact,
+        faults: ctx.faults(),
     })
 }
 

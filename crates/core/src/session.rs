@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use spp_boolfn::{BoolFn, Cube};
-use spp_obs::{CancelToken, EventSink, RunCtx};
+use spp_obs::{CancelToken, Event, EventSink, Outcome, RunCtx, Rung};
 use spp_par::Parallelism;
 
 use crate::generate::generate_eppp_session;
@@ -21,7 +21,8 @@ use crate::minimize::exact_session;
 use crate::multi::multi_session;
 use crate::restricted::restricted_session;
 use crate::{
-    EpppSet, GenLimits, Grouping, MultiSppResult, Pseudocube, SppError, SppMinResult, SppOptions,
+    EpppSet, GenLimits, GenStats, Grouping, MultiSppResult, Pseudocube, SppError, SppForm,
+    SppMinResult, SppOptions,
 };
 
 /// A configured single-output minimization session — the front door of the
@@ -129,6 +130,18 @@ impl<'f> Minimizer<'f> {
         self
     }
 
+    /// Sets the session's memory-accounting budgets, in bytes. A blown
+    /// `soft` budget degrades quality while the run completes (generation
+    /// truncates, the covering step skips its exact refinement); a blown
+    /// `hard` budget stops phases like a deadline, with
+    /// [`Outcome::MemoryExceeded`] — and makes
+    /// [`run_governed`](Self::run_governed) descend the ladder.
+    #[must_use]
+    pub fn mem_budget(mut self, soft: Option<u64>, hard: Option<u64>) -> Self {
+        self.ctx = self.ctx.with_mem_budget(soft, hard);
+        self
+    }
+
     /// Installs a progress-event sink (see [`spp_obs::EventSink`]).
     #[must_use]
     pub fn on_event(mut self, sink: Arc<dyn EventSink>) -> Self {
@@ -212,6 +225,80 @@ impl<'f> Minimizer<'f> {
         max_factor_literals: usize,
     ) -> Result<SppMinResult, SppError> {
         restricted_session(self.f, max_factor_literals, &self.options, &self.ctx)
+    }
+
+    /// Runs the resource-governed degradation ladder: **exact** SPP
+    /// (Algorithm 2) → **restricted exact** (2-SPP, a far smaller search
+    /// space) → **heuristic** (`SPP_0`, Algorithm 3) → **SP fallback**
+    /// (cubes only — always within reach).
+    ///
+    /// Each rung runs under the session's [`mem_budget`](Self::mem_budget)
+    /// with the byte account reset first, and its result is independently
+    /// verified against `f`. The first rung that verifies *and* stays
+    /// within the hard budget is the answer; a rung ending with
+    /// [`Outcome::MemoryExceeded`] (or failing verification — defense in
+    /// depth) makes the ladder descend. [`SppMinResult::rung`] records
+    /// which rung produced the returned form, and `RungStarted` /
+    /// `RungFinished` events trace the descent.
+    ///
+    /// A deadline or cancellation does *not* descend: the rung's
+    /// best-so-far form is already the best answer the remaining time
+    /// allows. Without a memory budget this behaves like
+    /// [`run_exact`](Self::run_exact) plus ladder events.
+    #[must_use]
+    pub fn run_governed(&self) -> SppMinResult {
+        for rung in [Rung::Exact, Rung::RestrictedExact, Rung::Heuristic] {
+            self.ctx.governor().reset();
+            self.ctx.emit(Event::RungStarted { rung });
+            let result = match rung {
+                Rung::Exact => Some(exact_session(self.f, &self.options, &self.ctx)),
+                Rung::RestrictedExact => {
+                    restricted_session(self.f, 2, &self.options, &self.ctx).ok()
+                }
+                _ => heuristic_session(self.f, 0, &self.options, &self.ctx).ok(),
+            };
+            let Some(mut r) = result else {
+                // Unreachable for these fixed parameters; descend anyway.
+                self.ctx.emit(Event::RungFinished {
+                    rung,
+                    outcome: Outcome::Completed,
+                    accepted: false,
+                });
+                continue;
+            };
+            let verified = r.form.check_realizes(self.f).is_ok();
+            let accepted = verified && r.outcome != Outcome::MemoryExceeded;
+            self.ctx.emit(Event::RungFinished { rung, outcome: r.outcome, accepted });
+            if accepted {
+                r.rung = rung;
+                r.faults = self.ctx.faults();
+                return r;
+            }
+        }
+        // Bottom rung: the SP minimum is always a valid SPP form and
+        // needs no pseudocube generation at all.
+        self.ctx.governor().reset();
+        self.ctx.emit(Event::RungStarted { rung: Rung::Sop });
+        let start = Instant::now();
+        let sp = spp_sp::minimize_sp(self.f, &self.options.cover_limits);
+        let form = SppForm::new(
+            self.f.num_vars(),
+            sp.form.cubes().iter().map(Pseudocube::from_cube).collect(),
+        );
+        let outcome = self.ctx.stop_reason().unwrap_or_default();
+        self.ctx.emit(Event::RungFinished { rung: Rung::Sop, outcome, accepted: true });
+        SppMinResult {
+            num_candidates: form.num_pseudoproducts(),
+            form,
+            // An SP form is an upper bound on the minimal SPP form.
+            optimal: false,
+            gen_stats: GenStats::default(),
+            gen_elapsed: start.elapsed(),
+            cover_elapsed: Duration::ZERO,
+            outcome,
+            rung: Rung::Sop,
+            faults: self.ctx.faults(),
+        }
     }
 }
 
@@ -302,6 +389,14 @@ impl<'f> MultiMinimizer<'f> {
         self
     }
 
+    /// Sets the session's memory-accounting budgets, in bytes (see
+    /// [`Minimizer::mem_budget`]).
+    #[must_use]
+    pub fn mem_budget(mut self, soft: Option<u64>, hard: Option<u64>) -> Self {
+        self.ctx = self.ctx.with_mem_budget(soft, hard);
+        self
+    }
+
     /// Installs a progress-event sink.
     #[must_use]
     pub fn on_event(mut self, sink: Arc<dyn EventSink>) -> Self {
@@ -387,6 +482,118 @@ mod tests {
         assert!(r.form.check_realizes(&f).is_ok());
         assert!(Minimizer::new(&f).run_heuristic(9).is_err());
         assert!(Minimizer::new(&f).run_restricted(0).is_err());
+    }
+
+    #[test]
+    fn governed_run_without_budget_stays_on_the_exact_rung() {
+        let f = BoolFn::from_truth_fn(3, |x| x.count_ones() % 2 == 1);
+        let r = Minimizer::new(&f).run_governed();
+        assert_eq!(r.rung, Rung::Exact);
+        assert_eq!(r.literal_count(), 3);
+        assert!(r.optimal);
+        assert!(r.faults.is_empty());
+        assert!(r.form.check_realizes(&f).is_ok());
+    }
+
+    #[test]
+    fn impossible_hard_budget_descends_to_the_sp_fallback() {
+        struct Log(Mutex<Vec<String>>);
+        impl EventSink for Log {
+            fn emit(&self, event: &Event) {
+                self.0.lock().unwrap().push(event.to_json());
+            }
+        }
+        let log = Arc::new(Log(Mutex::new(Vec::new())));
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 == 1);
+        // One byte: every generating rung trips MemoryExceeded, only the
+        // SP fallback (which allocates no pseudocube pool) survives.
+        let r = Minimizer::new(&f)
+            .mem_budget(None, Some(1))
+            .on_event(log.clone())
+            .run_governed();
+        assert_eq!(r.rung, Rung::Sop);
+        assert!(!r.optimal);
+        assert!(r.form.check_realizes(&f).is_ok());
+        let text = log.0.lock().unwrap().join("\n");
+        for rung in ["exact", "restricted_exact", "heuristic"] {
+            assert!(
+                text.contains(&format!(
+                    "{{\"event\":\"rung_finished\",\"rung\":\"{rung}\",\
+                     \"outcome\":\"memory_exceeded\",\"accepted\":false}}"
+                )),
+                "missing descent record for {rung} in:\n{text}"
+            );
+        }
+        assert!(text.contains("\"rung\":\"sop\",\"outcome\":\"completed\",\"accepted\":true"));
+    }
+
+    #[test]
+    fn calibrated_hard_budget_lands_on_a_lower_generating_rung() {
+        let f = BoolFn::from_truth_fn(5, |x| x % 3 == 1 || x.count_ones() >= 4);
+        // Measure what each rung actually charges, then pick a budget
+        // between the heuristic's appetite and the exact algorithm's.
+        let exact = Minimizer::new(&f).threads(1).mem_budget(None, None);
+        let _ = exact.run_exact();
+        let exact_bytes = exact.run_ctx().governor().bytes();
+        let heur = Minimizer::new(&f).threads(1).mem_budget(None, None);
+        let _ = heur.run_heuristic(0).unwrap();
+        let heur_bytes = heur.run_ctx().governor().bytes();
+        assert!(
+            heur_bytes < exact_bytes,
+            "calibration broke: heuristic {heur_bytes} >= exact {exact_bytes}"
+        );
+        let budget = heur_bytes + (exact_bytes - heur_bytes) / 2;
+        let r = Minimizer::new(&f)
+            .threads(1)
+            .mem_budget(None, Some(budget))
+            .run_governed();
+        // The exact rung cannot fit; some lower rung must have been
+        // accepted with a verified form.
+        assert!(r.rung > Rung::Exact, "budget {budget} did not trip the exact rung");
+        assert!(r.form.check_realizes(&f).is_ok());
+        assert!(r.outcome.is_completed(), "accepted rung ended {}", r.outcome);
+    }
+
+    #[test]
+    fn degenerate_inputs_minimize_at_one_and_four_threads() {
+        for threads in [1usize, 4] {
+            let zero = BoolFn::from_indices(4, &[]);
+            let r = Minimizer::new(&zero).threads(threads).run_exact();
+            assert_eq!(r.form.num_pseudoproducts(), 0, "threads={threads}");
+            assert!(r.form.check_realizes(&zero).is_ok(), "threads={threads}");
+            let r = Minimizer::new(&zero).threads(threads).run_governed();
+            assert!(r.form.check_realizes(&zero).is_ok(), "threads={threads}");
+
+            let one = BoolFn::from_truth_fn(4, |_| true);
+            let r = Minimizer::new(&one).threads(threads).run_exact();
+            assert_eq!(r.literal_count(), 0, "threads={threads}");
+            assert!(r.form.check_realizes(&one).is_ok(), "threads={threads}");
+            let r = Minimizer::new(&one).threads(threads).run_governed();
+            assert!(r.form.check_realizes(&one).is_ok(), "threads={threads}");
+
+            let single = BoolFn::from_indices(4, &[0b1010]);
+            for r in [
+                Minimizer::new(&single).threads(threads).run_exact(),
+                Minimizer::new(&single).threads(threads).run_governed(),
+                Minimizer::new(&single).threads(threads).run_heuristic(0).unwrap(),
+                Minimizer::new(&single).threads(threads).run_restricted(2).unwrap(),
+            ] {
+                assert_eq!(r.form.num_pseudoproducts(), 1, "threads={threads}");
+                assert_eq!(r.literal_count(), 4, "threads={threads}");
+                assert!(r.form.check_realizes(&single).is_ok(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_report_their_own_rung() {
+        let f = BoolFn::from_truth_fn(4, |x| x.count_ones() % 2 == 1);
+        assert_eq!(Minimizer::new(&f).run_exact().rung, Rung::Exact);
+        assert_eq!(Minimizer::new(&f).run_heuristic(0).unwrap().rung, Rung::Heuristic);
+        assert_eq!(
+            Minimizer::new(&f).run_restricted(2).unwrap().rung,
+            Rung::RestrictedExact
+        );
     }
 
     #[test]

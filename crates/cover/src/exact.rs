@@ -10,7 +10,8 @@
 //! searches, while deadline/cancel/budget stops still unwind every worker
 //! to a verified incumbent.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::time::Instant;
 
 use spp_obs::{Event, Outcome, RunCtx};
@@ -65,6 +66,7 @@ const RUNNING: u8 = 0;
 const STOP_BUDGET: u8 = 1;
 const STOP_DEADLINE: u8 = 2;
 const STOP_CANCELLED: u8 = 3;
+const STOP_MEMORY: u8 = 4;
 
 /// State shared by all search workers of one `solve_exact_ctx` call.
 struct Shared<'a> {
@@ -78,6 +80,10 @@ struct Shared<'a> {
     nodes: AtomicU64,
     /// One of the `RUNNING`/`STOP_*` codes.
     stop: AtomicU8,
+    /// Whether any subtree panicked (and was isolated): the search is then
+    /// incomplete regardless of the stop code, so `optimal` stays `false`
+    /// while the other workers run to completion.
+    panicked: AtomicBool,
 }
 
 impl Shared<'_> {
@@ -141,6 +147,7 @@ impl<'a> Worker<'a> {
         } else if let Some(reason) = self.shared.ctx.stop_reason() {
             self.shared.flag_stop(match reason {
                 Outcome::Cancelled => STOP_CANCELLED,
+                Outcome::MemoryExceeded => STOP_MEMORY,
                 _ => STOP_DEADLINE,
             });
         }
@@ -423,6 +430,7 @@ pub fn solve_exact_ctx(
         bound: AtomicU64::new(pack(seed.cost, 0)),
         nodes: AtomicU64::new(1),
         stop: AtomicU8::new(RUNNING),
+        panicked: AtomicBool::new(false),
     };
     let mut root = Worker::new(&shared, TrailState::root(problem));
     if limits.max_nodes <= 1 {
@@ -451,15 +459,31 @@ pub fn solve_exact_ctx(
                 shared.ctx.emit(Event::CoverSubtreeStarted { index: i, column: c });
                 let nodes_before = worker.local_nodes;
                 let records_before = worker.improvements.len();
-                let mark = worker.state.mark();
-                worker.state.select(shared.problem, c);
-                worker.recurse(1);
-                worker.state.undo_to(shared.problem, mark);
+                // Isolation boundary: a panic inside one subtree is caught
+                // here, so the other workers (and this worker's recorded
+                // improvements) survive it. The trail state may be mid-undo
+                // after a panic, so this worker abandons its remaining
+                // subtrees; they are simply unexplored, like after a stop.
+                let searched = catch_unwind(AssertUnwindSafe(|| {
+                    shared.ctx.failpoint("cover.subtree");
+                    let mark = worker.state.mark();
+                    worker.state.select(shared.problem, c);
+                    worker.recurse(1);
+                    worker.state.undo_to(shared.problem, mark);
+                }));
+                let improved = worker.improvements.len() > records_before;
                 shared.ctx.emit(Event::CoverSubtreeFinished {
                     index: i,
                     nodes: worker.local_nodes - nodes_before,
-                    improved: worker.improvements.len() > records_before,
+                    improved,
                 });
+                if let Err(payload) = searched {
+                    shared.panicked.store(true, Ordering::Release);
+                    shared
+                        .ctx
+                        .record_fault("cover.subtree", &spp_par::panic_message(payload.as_ref()));
+                    break;
+                }
                 if worker.stopped {
                     break;
                 }
@@ -472,10 +496,12 @@ pub fn solve_exact_ctx(
     }
     root.flush();
 
-    let complete = shared.stop.load(Ordering::Acquire) == RUNNING;
+    let complete = shared.stop.load(Ordering::Acquire) == RUNNING
+        && !shared.panicked.load(Ordering::Acquire);
     let outcome = match shared.stop.load(Ordering::Acquire) {
         STOP_DEADLINE => Outcome::DeadlineExceeded,
         STOP_CANCELLED => Outcome::Cancelled,
+        STOP_MEMORY => Outcome::MemoryExceeded,
         _ => Outcome::Completed,
     };
     let mut best = match improvements.into_iter().min_by_key(|imp| imp.rank) {
@@ -711,6 +737,92 @@ mod tests {
                 assert_eq!(parallel.optimal, sequential.optimal, "trial {trial} t={threads}");
             }
         }
+    }
+
+    #[test]
+    fn hard_memory_budget_stops_after_greedy() {
+        let mut p = CoverProblem::new(4);
+        p.add_column(&[0, 1, 2], 3);
+        p.add_column(&[0, 1], 2);
+        p.add_column(&[2, 3], 2);
+        p.add_column(&[3], 2);
+        let ctx = RunCtx::new().with_mem_budget(None, Some(1));
+        let (sol, outcome) = crate::solve_auto_ctx(&p, &Limits::default(), &ctx);
+        assert!(p.is_cover(&sol.columns));
+        assert!(!sol.optimal);
+        assert_eq!(outcome, Outcome::MemoryExceeded);
+    }
+
+    #[test]
+    fn soft_memory_budget_skips_exact_refinement() {
+        // Greedy trap: exact would improve the cover, but soft memory
+        // pressure keeps the (valid) greedy answer and still completes.
+        let mut p = CoverProblem::new(4);
+        p.add_column(&[0, 1, 2], 3);
+        p.add_column(&[0, 1], 2);
+        p.add_column(&[2, 3], 2);
+        p.add_column(&[3], 2);
+        let greedy = crate::solve_greedy(&p);
+        let ctx = RunCtx::new().with_mem_budget(Some(1), None);
+        let (sol, outcome) = crate::solve_auto_ctx(&p, &Limits::default(), &ctx);
+        assert_eq!(outcome, Outcome::Completed);
+        assert!(!sol.optimal);
+        assert_eq!(sol.cost, greedy.cost);
+        assert!(p.is_cover(&sol.columns));
+    }
+
+    #[test]
+    fn mid_search_memory_exhaustion_unwinds_to_the_incumbent() {
+        // Arm a hard budget the warm start fits under but the matrix
+        // charge blows mid-setup: solve_exact_ctx's workers observe the
+        // governor at their syncs and unwind like a deadline.
+        let mut p = CoverProblem::new(8);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                p.add_column(&[i, j], 2);
+            }
+        }
+        let ctx = RunCtx::new().with_mem_budget(None, Some(1));
+        ctx.governor().charge(1); // already exhausted
+        let limits = Limits::default().with_parallelism(crate::Parallelism::fixed(4));
+        let (sol, outcome) = solve_exact_ctx(&p, &limits, None, &ctx);
+        assert!(p.is_cover(&sol.columns));
+        assert!(!sol.optimal);
+        assert_eq!(outcome, Outcome::MemoryExceeded);
+    }
+
+    /// The one failpoint-registry test of this binary (the registry is
+    /// process-global): an injected subtree panic at any thread count
+    /// keeps the warm-start incumbent, records the fault and never
+    /// escapes `solve_exact_ctx`.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_subtree_panic_keeps_the_incumbent() {
+        use spp_obs::failpoints::{self, FailAction};
+
+        let mut p = CoverProblem::new(8);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                p.add_column(&[i, j], 2);
+            }
+        }
+        let greedy = crate::solve_greedy(&p);
+        for threads in [1usize, 2, 4] {
+            failpoints::clear_all();
+            failpoints::set("cover.subtree", FailAction::Panic("injected".to_owned()));
+            let ctx = RunCtx::new();
+            let limits = Limits::default().with_parallelism(crate::Parallelism::fixed(threads));
+            let (sol, outcome) = solve_exact_ctx(&p, &limits, Some(&greedy), &ctx);
+            assert!(p.is_cover(&sol.columns), "threads={threads}");
+            assert!(sol.cost <= greedy.cost, "threads={threads}");
+            assert!(!sol.optimal, "threads={threads}");
+            assert_eq!(outcome, Outcome::Completed, "threads={threads}");
+            let faults = ctx.faults();
+            assert!(!faults.is_empty(), "threads={threads}");
+            assert!(faults.iter().all(|f| f.site == "cover.subtree"), "threads={threads}");
+            assert!(faults[0].message.contains("injected"), "threads={threads}");
+        }
+        failpoints::clear_all();
     }
 
     #[test]

@@ -77,6 +77,12 @@ pub fn solve_auto(problem: &CoverProblem, limits: &Limits) -> CoverSolution {
 /// emits `CoverStarted` / `CoverFinished` events, skips the exact
 /// refinement when the context has already expired — the greedy cover *is*
 /// the best-so-far then — and reports how the step ended.
+///
+/// The covering matrix is charged to the context's
+/// [`ResourceGovernor`](spp_obs::ResourceGovernor) up front: a blown
+/// *hard* budget stops the run after the (cheap) greedy pass with
+/// [`Outcome::MemoryExceeded`], while a blown *soft* budget only skips the
+/// exact refinement — the greedy cover completes the step.
 #[must_use]
 pub fn solve_auto_ctx(
     problem: &CoverProblem,
@@ -84,10 +90,15 @@ pub fn solve_auto_ctx(
     ctx: &RunCtx,
 ) -> (CoverSolution, Outcome) {
     ctx.emit(Event::CoverStarted { rows: problem.num_rows(), columns: problem.num_columns() });
+    ctx.failpoint("cover.columns");
+    ctx.governor().charge(problem.approx_bytes());
     let greedy = solve_greedy(problem);
     let mut outcome = ctx.stop_reason().unwrap_or_default();
     let mut solution = greedy;
-    if outcome.is_completed() && problem.num_columns() <= limits.max_exact_columns {
+    if outcome.is_completed()
+        && !ctx.governor().soft_exceeded()
+        && problem.num_columns() <= limits.max_exact_columns
+    {
         // `solve_exact_ctx` emits the final CoverFinished event itself,
         // with the true node count.
         let (exact, exact_outcome) = solve_exact_ctx(problem, limits, Some(&solution), ctx);

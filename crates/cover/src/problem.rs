@@ -142,6 +142,16 @@ impl CoverProblem {
         columns.iter().map(|&c| self.columns[c].cost).sum()
     }
 
+    /// A cheap estimate of the matrix's heap footprint in bytes: each
+    /// column holds `⌈rows/64⌉` bit-set words plus fixed bookkeeping. Used
+    /// to charge a [`spp_obs::ResourceGovernor`] for the covering matrix —
+    /// an accounting hook, not an allocator measurement.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        let bytes_per_column = self.num_rows.div_ceil(64) as u64 * 8 + 48;
+        self.columns.len() as u64 * bytes_per_column
+    }
+
     /// Whether some rows cannot be covered by any column (such instances
     /// are infeasible).
     #[must_use]

@@ -29,8 +29,8 @@
 
 use std::fmt;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How a run (or one phase of it) ended.
@@ -46,6 +46,9 @@ pub enum Outcome {
     Completed,
     /// The deadline expired; the result is the best found so far.
     DeadlineExceeded,
+    /// A hard memory budget was exhausted; the result is the best found so
+    /// far (possibly produced by a lower degradation-ladder rung).
+    MemoryExceeded,
     /// The run was cancelled; the result is the best found so far.
     Cancelled,
 }
@@ -58,6 +61,7 @@ impl Outcome {
         match self {
             Outcome::Completed => "completed",
             Outcome::DeadlineExceeded => "deadline_exceeded",
+            Outcome::MemoryExceeded => "memory_exceeded",
             Outcome::Cancelled => "cancelled",
         }
     }
@@ -68,13 +72,15 @@ impl Outcome {
         match s {
             "completed" => Some(Outcome::Completed),
             "deadline_exceeded" => Some(Outcome::DeadlineExceeded),
+            "memory_exceeded" => Some(Outcome::MemoryExceeded),
             "cancelled" => Some(Outcome::Cancelled),
             _ => None,
         }
     }
 
-    /// The worse of two outcomes (`Cancelled > DeadlineExceeded >
-    /// Completed`): folding per-phase outcomes yields the run's outcome.
+    /// The worse of two outcomes (`Cancelled > MemoryExceeded >
+    /// DeadlineExceeded > Completed`): folding per-phase outcomes yields
+    /// the run's outcome.
     #[must_use]
     pub fn merge(self, other: Outcome) -> Outcome {
         self.max(other)
@@ -88,6 +94,57 @@ impl Outcome {
 }
 
 impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rung of the degradation ladder: which algorithm family produced a
+/// governed run's answer.
+///
+/// The ladder descends `Exact → RestrictedExact → Heuristic → Sop` under
+/// resource pressure; the variants are ordered so that "lower rung"
+/// compares greater.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rung {
+    /// Full exact SPP minimization (all EPPPs, exact cover).
+    #[default]
+    Exact,
+    /// Restricted exact synthesis (EXOR factors capped at two literals).
+    RestrictedExact,
+    /// The SPP_k descent/ascent heuristic.
+    Heuristic,
+    /// Two-level SP (sum of products) fallback.
+    Sop,
+}
+
+impl Rung {
+    /// A stable lower-snake identifier. Round-trips through
+    /// [`Rung::parse`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rung::Exact => "exact",
+            Rung::RestrictedExact => "restricted_exact",
+            Rung::Heuristic => "heuristic",
+            Rung::Sop => "sop",
+        }
+    }
+
+    /// Parses the identifier produced by [`Rung::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Rung> {
+        match s {
+            "exact" => Some(Rung::Exact),
+            "restricted_exact" => Some(Rung::RestrictedExact),
+            "heuristic" => Some(Rung::Heuristic),
+            "sop" => Some(Rung::Sop),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rung {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
@@ -205,13 +262,53 @@ pub enum Event {
         /// Whether the cover was proved optimal.
         optimal: bool,
     },
+    /// A degradation-ladder rung began.
+    RungStarted {
+        /// Which rung.
+        rung: Rung,
+    },
+    /// A degradation-ladder rung finished.
+    RungFinished {
+        /// Which rung.
+        rung: Rung,
+        /// How the rung's phases ended.
+        outcome: Outcome,
+        /// Whether the rung's (verified) result was accepted as the
+        /// answer; `false` means the ladder descended to the next rung.
+        accepted: bool,
+    },
+    /// A worker panic was caught and isolated; the run continues on the
+    /// surviving workers.
+    WorkerPanicked {
+        /// The site that panicked (e.g. `cover.subtree`).
+        site: String,
+        /// Best-effort panic payload text.
+        message: String,
+    },
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl Event {
     /// Serializes the event as one JSON object (no trailing newline).
     ///
-    /// All payloads are numbers, booleans or fixed identifiers, so no
-    /// string escaping is needed.
+    /// Payloads are numbers, booleans or fixed identifiers, except the
+    /// free-form strings of [`Event::WorkerPanicked`], which are escaped.
     #[must_use]
     pub fn to_json(&self) -> String {
         match self {
@@ -250,6 +347,18 @@ impl Event {
             Event::CoverFinished { cost, nodes, optimal } => format!(
                 "{{\"event\":\"cover_finished\",\"cost\":{cost},\"nodes\":{nodes},\
                  \"optimal\":{optimal}}}"
+            ),
+            Event::RungStarted { rung } => {
+                format!("{{\"event\":\"rung_started\",\"rung\":\"{rung}\"}}")
+            }
+            Event::RungFinished { rung, outcome, accepted } => format!(
+                "{{\"event\":\"rung_finished\",\"rung\":\"{rung}\",\
+                 \"outcome\":\"{outcome}\",\"accepted\":{accepted}}}"
+            ),
+            Event::WorkerPanicked { site, message } => format!(
+                "{{\"event\":\"worker_panicked\",\"site\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(site),
+                json_escape(message)
             ),
         }
     }
@@ -293,6 +402,15 @@ impl fmt::Display for Event {
                 "cover: done — {cost} literals after {nodes} nodes{}",
                 if *optimal { " (optimal)" } else { " (upper bound)" }
             ),
+            Event::RungStarted { rung } => write!(f, "ladder: rung {rung} started"),
+            Event::RungFinished { rung, outcome, accepted } => write!(
+                f,
+                "ladder: rung {rung} finished ({outcome}, {})",
+                if *accepted { "accepted" } else { "descending" }
+            ),
+            Event::WorkerPanicked { site, message } => {
+                write!(f, "fault: caught worker panic at {site}: {message}")
+            }
         }
     }
 }
@@ -352,24 +470,153 @@ impl<W: Write + Send> JsonLinesSink<W> {
         JsonLinesSink { out: Mutex::new(out) }
     }
 
-    /// Unwraps the inner writer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous `emit` panicked while holding the lock.
+    /// Unwraps the inner writer. Recovers from a poisoned lock (a panic in
+    /// a previous `emit` cannot lose the lines written so far).
     pub fn into_inner(self) -> W {
-        self.out.into_inner().expect("event sink poisoned")
+        self.out.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<W: Write + Send> EventSink for JsonLinesSink<W> {
     /// Writes the event; I/O errors are ignored (progress reporting must
-    /// never fail the run).
+    /// never fail the run) and a poisoned lock is recovered, not
+    /// propagated.
     fn emit(&self, event: &Event) {
-        if let Ok(mut out) = self.out.lock() {
-            let _ = writeln!(out, "{}", event.to_json());
-            let _ = out.flush();
-        }
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writeln!(out, "{}", event.to_json());
+        let _ = out.flush();
+    }
+}
+
+#[derive(Debug, Default)]
+struct GovernorInner {
+    bytes: AtomicU64,
+    soft: Option<u64>,
+    hard: Option<u64>,
+}
+
+/// A shared memory-budget accountant.
+///
+/// Phases *charge* the governor for their dominant allocations (distinct
+/// pseudocube unions, covering-matrix columns) with cheap relaxed atomic
+/// adds; the governor compares the running total against two optional
+/// budgets:
+///
+/// * **soft** — advisory pressure: generation truncates its candidate pool
+///   and covering skips the exact refinement, but the run still completes
+///   with a valid (possibly sub-optimal) answer.
+/// * **hard** — a stop condition: [`RunCtx::stop_reason`] reports
+///   [`Outcome::MemoryExceeded`] and every phase unwinds to its best
+///   so-far, exactly like a deadline.
+///
+/// Cloning shares the counter (an `Arc` bump); the default governor is
+/// unbounded and charges to it are effectively free.
+///
+/// The accounting is deliberately approximate — it tracks the
+/// data-structure growth that is actually exponential, not every
+/// allocation — so budgets are a defense against blow-ups, not a precise
+/// rlimit.
+#[derive(Clone, Debug, Default)]
+pub struct ResourceGovernor(Arc<GovernorInner>);
+
+impl ResourceGovernor {
+    /// A governor with no budgets: charges are counted but never trip.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        ResourceGovernor::default()
+    }
+
+    /// A governor with the given soft/hard byte budgets (`None` =
+    /// unlimited).
+    #[must_use]
+    pub fn with_budgets(soft: Option<u64>, hard: Option<u64>) -> Self {
+        ResourceGovernor(Arc::new(GovernorInner {
+            bytes: AtomicU64::new(0),
+            soft,
+            hard,
+        }))
+    }
+
+    /// Adds `bytes` to the running total (relaxed; safe from hot loops at
+    /// a sampling interval).
+    pub fn charge(&self, bytes: u64) {
+        self.0.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// The bytes charged so far.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.0.bytes.load(Ordering::Relaxed)
+    }
+
+    /// The soft budget, if any.
+    #[must_use]
+    pub fn soft_budget(&self) -> Option<u64> {
+        self.0.soft
+    }
+
+    /// The hard budget, if any.
+    #[must_use]
+    pub fn hard_budget(&self) -> Option<u64> {
+        self.0.hard
+    }
+
+    /// Whether the soft budget is exhausted (always `false` when
+    /// unbounded).
+    #[must_use]
+    pub fn soft_exceeded(&self) -> bool {
+        self.0.soft.is_some_and(|b| self.bytes() >= b)
+    }
+
+    /// Whether the hard budget is exhausted (always `false` when
+    /// unbounded).
+    #[must_use]
+    pub fn hard_exceeded(&self) -> bool {
+        self.0.hard.is_some_and(|b| self.bytes() >= b)
+    }
+
+    /// Resets the running total to zero. The degradation ladder calls this
+    /// between rungs so each rung gets the full budget.
+    pub fn reset(&self) {
+        self.0.bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether any budget is configured.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.0.soft.is_some() || self.0.hard.is_some()
+    }
+}
+
+/// A recovered worker fault: a panic that was caught at an isolation
+/// boundary and converted into data instead of crossing the API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Fault {
+    /// The isolation site that caught the panic (e.g. `cover.subtree`).
+    pub site: String,
+    /// Best-effort panic payload text.
+    pub message: String,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panic at {}: {}", self.site, self.message)
+    }
+}
+
+/// The shared fault journal of a run. Poison-proof by construction: a
+/// panicking recorder cannot prevent later records or reads.
+#[derive(Clone, Debug, Default)]
+struct FaultLog(Arc<Mutex<Vec<Fault>>>);
+
+impl FaultLog {
+    fn record(&self, fault: Fault) {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).push(fault);
+    }
+
+    fn snapshot(&self) -> Vec<Fault> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 }
 
@@ -468,11 +715,19 @@ pub struct RunCtx {
     deadline: Option<Instant>,
     cancel: CancelToken,
     sink: Arc<dyn EventSink>,
+    governor: ResourceGovernor,
+    faults: FaultLog,
 }
 
 impl Default for RunCtx {
     fn default() -> Self {
-        RunCtx { deadline: None, cancel: CancelToken::new(), sink: Arc::new(NullSink) }
+        RunCtx {
+            deadline: None,
+            cancel: CancelToken::new(),
+            sink: Arc::new(NullSink),
+            governor: ResourceGovernor::unbounded(),
+            faults: FaultLog::default(),
+        }
     }
 }
 
@@ -481,6 +736,7 @@ impl fmt::Debug for RunCtx {
         f.debug_struct("RunCtx")
             .field("deadline", &self.deadline)
             .field("cancelled", &self.cancel.is_cancelled())
+            .field("governor", &self.governor)
             .finish_non_exhaustive()
     }
 }
@@ -519,6 +775,26 @@ impl RunCtx {
         self
     }
 
+    /// Installs a resource governor (replacing the unbounded default).
+    #[must_use]
+    pub fn with_governor(mut self, governor: ResourceGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Sets soft/hard memory budgets in bytes (`None` = unlimited),
+    /// replacing the governor and its running total.
+    #[must_use]
+    pub fn with_mem_budget(self, soft: Option<u64>, hard: Option<u64>) -> Self {
+        self.with_governor(ResourceGovernor::with_budgets(soft, hard))
+    }
+
+    /// The memory governor (shared with every clone of this context).
+    #[must_use]
+    pub fn governor(&self) -> &ResourceGovernor {
+        &self.governor
+    }
+
     /// Tightens the deadline to `min(current, other)`; `None` leaves it
     /// unchanged. Phases use this to fold per-phase time budgets into the
     /// session deadline.
@@ -550,12 +826,15 @@ impl RunCtx {
         self.cancel.is_cancelled()
     }
 
-    /// Why the run should stop, if it should: cancellation wins over the
-    /// deadline. Does not consume a counted checkpoint.
+    /// Why the run should stop, if it should: cancellation wins over a
+    /// blown hard memory budget, which wins over the deadline (matching
+    /// [`Outcome`] severity). Does not consume a counted checkpoint.
     #[must_use]
     pub fn stop_reason(&self) -> Option<Outcome> {
         if self.is_cancelled() {
             Some(Outcome::Cancelled)
+        } else if self.governor.hard_exceeded() {
+            Some(Outcome::MemoryExceeded)
         } else if self.deadline_exceeded() {
             Some(Outcome::DeadlineExceeded)
         } else {
@@ -578,6 +857,144 @@ impl RunCtx {
     pub fn emit(&self, event: Event) {
         self.sink.emit(&event);
     }
+
+    /// Records a caught worker panic on the run's fault journal and emits
+    /// an [`Event::WorkerPanicked`]. Called from isolation boundaries; the
+    /// run itself continues.
+    pub fn record_fault(&self, site: &str, message: &str) {
+        self.faults.record(Fault { site: site.to_owned(), message: message.to_owned() });
+        self.emit(Event::WorkerPanicked {
+            site: site.to_owned(),
+            message: message.to_owned(),
+        });
+    }
+
+    /// A snapshot of the faults recorded so far (shared with every clone).
+    #[must_use]
+    pub fn faults(&self) -> Vec<Fault> {
+        self.faults.snapshot()
+    }
+
+    /// Evaluates the named fault-injection site.
+    ///
+    /// With the `failpoints` feature disabled (the default) this is a
+    /// no-op; call sites need no `cfg`. With the feature enabled, an armed
+    /// site performs its configured `failpoints::FailAction`.
+    #[allow(unused_variables)]
+    pub fn failpoint(&self, site: &str) {
+        #[cfg(feature = "failpoints")]
+        failpoints::hit(site, self);
+    }
+}
+
+/// A process-global fault-injection registry, compiled in only with the
+/// `failpoints` feature.
+///
+/// Tests arm named sites with [`set`](failpoints::set) /
+/// [`set_after`](failpoints::set_after) and production code
+/// hits them through [`RunCtx::failpoint`]. Sites are plain strings; the
+/// pipeline's instrumented sites are `generate.level`, `generate.worker`,
+/// `generate.shard`, `cover.columns`, `cover.subtree` and
+/// `heuristic.descent`.
+///
+/// The registry is global, so tests that arm failpoints must serialize
+/// themselves (e.g. behind a shared mutex) and
+/// [`clear_all`](failpoints::clear_all) when done.
+#[cfg(feature = "failpoints")]
+pub mod failpoints {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    use std::time::Duration;
+
+    use crate::RunCtx;
+
+    /// What an armed failpoint does when hit.
+    #[derive(Clone, Debug)]
+    #[non_exhaustive]
+    pub enum FailAction {
+        /// Panic with the given message (simulated worker fault).
+        Panic(String),
+        /// Sleep for the given duration (simulated slow worker).
+        Delay(Duration),
+        /// Charge the context's [`crate::ResourceGovernor`] (simulated
+        /// allocation spike / allocation failure pressure).
+        ChargeBytes(u64),
+    }
+
+    struct Entry {
+        action: FailAction,
+        /// Hits to ignore before the action fires.
+        skip: u64,
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        entries: HashMap<String, Entry>,
+        hits: HashMap<String, u64>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(Mutex::default)
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, Registry> {
+        registry().lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Arms `site` to perform `action` on every hit.
+    pub fn set(site: &str, action: FailAction) {
+        set_after(site, 0, action);
+    }
+
+    /// Arms `site` to ignore its first `skip` hits, then perform `action`
+    /// on every later hit.
+    pub fn set_after(site: &str, skip: u64, action: FailAction) {
+        lock().entries.insert(site.to_owned(), Entry { action, skip });
+    }
+
+    /// Disarms `site` (hit counting continues).
+    pub fn clear(site: &str) {
+        lock().entries.remove(site);
+    }
+
+    /// Disarms every site and zeroes all hit counters.
+    pub fn clear_all() {
+        let mut reg = lock();
+        reg.entries.clear();
+        reg.hits.clear();
+    }
+
+    /// How many times `site` has been hit since the last [`clear_all`]
+    /// (armed or not).
+    #[must_use]
+    pub fn hits(site: &str) -> u64 {
+        lock().hits.get(site).copied().unwrap_or(0)
+    }
+
+    /// Evaluates a hit on `site` (called by [`RunCtx::failpoint`]). The
+    /// registry lock is released before the action runs, so a panicking or
+    /// sleeping action cannot wedge the registry.
+    pub(crate) fn hit(site: &str, ctx: &RunCtx) {
+        let action = {
+            let mut reg = lock();
+            *reg.hits.entry(site.to_owned()).or_insert(0) += 1;
+            match reg.entries.get_mut(site) {
+                None => None,
+                Some(entry) if entry.skip > 0 => {
+                    entry.skip -= 1;
+                    None
+                }
+                Some(entry) => Some(entry.action.clone()),
+            }
+        };
+        match action {
+            None => {}
+            Some(FailAction::Panic(message)) => panic!("failpoint {site}: {message}"),
+            Some(FailAction::Delay(d)) => std::thread::sleep(d),
+            Some(FailAction::ChargeBytes(bytes)) => ctx.governor.charge(bytes),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -586,20 +1003,188 @@ mod tests {
 
     #[test]
     fn outcome_merge_keeps_the_worst() {
-        use Outcome::{Cancelled, Completed, DeadlineExceeded};
+        use Outcome::{Cancelled, Completed, DeadlineExceeded, MemoryExceeded};
         assert_eq!(Completed.merge(Completed), Completed);
         assert_eq!(Completed.merge(DeadlineExceeded), DeadlineExceeded);
         assert_eq!(DeadlineExceeded.merge(Cancelled), Cancelled);
         assert_eq!(Cancelled.merge(Completed), Cancelled);
+        assert_eq!(DeadlineExceeded.merge(MemoryExceeded), MemoryExceeded);
+        assert_eq!(MemoryExceeded.merge(Cancelled), Cancelled);
+        assert_eq!(MemoryExceeded.merge(Completed), MemoryExceeded);
     }
 
     #[test]
     fn outcome_round_trips_through_strings() {
-        for o in [Outcome::Completed, Outcome::DeadlineExceeded, Outcome::Cancelled] {
+        for o in [
+            Outcome::Completed,
+            Outcome::DeadlineExceeded,
+            Outcome::MemoryExceeded,
+            Outcome::Cancelled,
+        ] {
             assert_eq!(Outcome::parse(o.as_str()), Some(o));
             assert_eq!(o.to_string(), o.as_str());
         }
         assert_eq!(Outcome::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn rung_round_trips_through_strings() {
+        for r in [Rung::Exact, Rung::RestrictedExact, Rung::Heuristic, Rung::Sop] {
+            assert_eq!(Rung::parse(r.as_str()), Some(r));
+            assert_eq!(r.to_string(), r.as_str());
+        }
+        assert_eq!(Rung::parse("nonsense"), None);
+        assert!(Rung::Exact < Rung::RestrictedExact);
+        assert!(Rung::Heuristic < Rung::Sop);
+    }
+
+    #[test]
+    fn governor_budgets_trip_in_order() {
+        let g = ResourceGovernor::with_budgets(Some(100), Some(200));
+        assert!(g.is_bounded());
+        assert!(!g.soft_exceeded() && !g.hard_exceeded());
+        g.charge(100);
+        assert!(g.soft_exceeded() && !g.hard_exceeded());
+        g.charge(100);
+        assert!(g.soft_exceeded() && g.hard_exceeded());
+        assert_eq!(g.bytes(), 200);
+        g.reset();
+        assert_eq!(g.bytes(), 0);
+        assert!(!g.soft_exceeded() && !g.hard_exceeded());
+    }
+
+    #[test]
+    fn unbounded_governor_never_trips() {
+        let g = ResourceGovernor::unbounded();
+        assert!(!g.is_bounded());
+        g.charge(u64::MAX / 2);
+        assert!(!g.soft_exceeded());
+        assert!(!g.hard_exceeded());
+    }
+
+    #[test]
+    fn governor_is_shared_between_ctx_clones() {
+        let ctx = RunCtx::new().with_mem_budget(None, Some(10));
+        let clone = ctx.clone();
+        clone.governor().charge(10);
+        assert_eq!(ctx.stop_reason(), Some(Outcome::MemoryExceeded));
+    }
+
+    #[test]
+    fn stop_reason_priority_matches_severity() {
+        // cancelled > memory > deadline
+        let token = CancelToken::new();
+        let ctx = RunCtx::new()
+            .with_cancel(token.clone())
+            .with_deadline_in(Duration::ZERO)
+            .with_mem_budget(None, Some(1));
+        assert_eq!(ctx.stop_reason(), Some(Outcome::DeadlineExceeded));
+        ctx.governor().charge(1);
+        assert_eq!(ctx.stop_reason(), Some(Outcome::MemoryExceeded));
+        token.cancel();
+        assert_eq!(ctx.stop_reason(), Some(Outcome::Cancelled));
+    }
+
+    #[test]
+    fn faults_are_recorded_and_shared() {
+        let sink = Arc::new(CollectSink::default());
+        let ctx = RunCtx::new().with_sink(sink.clone());
+        let clone = ctx.clone();
+        clone.record_fault("cover.subtree", "boom");
+        let faults = ctx.faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].site, "cover.subtree");
+        assert_eq!(faults[0].message, "boom");
+        assert!(faults[0].to_string().contains("cover.subtree"));
+        let events = sink.0.lock().unwrap();
+        assert!(matches!(events[0], Event::WorkerPanicked { .. }));
+    }
+
+    #[derive(Default)]
+    struct CollectSink(Mutex<Vec<Event>>);
+
+    impl EventSink for CollectSink {
+        fn emit(&self, event: &Event) {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+        }
+    }
+
+    #[test]
+    fn worker_panicked_event_escapes_json_strings() {
+        let e = Event::WorkerPanicked {
+            site: "cover.subtree".to_owned(),
+            message: "bad \"quote\"\nnewline \\ backslash".to_owned(),
+        };
+        let json = e.to_json();
+        assert_eq!(
+            json,
+            "{\"event\":\"worker_panicked\",\"site\":\"cover.subtree\",\
+             \"message\":\"bad \\\"quote\\\"\\nnewline \\\\ backslash\"}"
+        );
+        assert!(e.to_string().contains("cover.subtree"));
+    }
+
+    #[test]
+    fn rung_events_serialize() {
+        let e = Event::RungStarted { rung: Rung::RestrictedExact };
+        assert_eq!(e.to_json(), "{\"event\":\"rung_started\",\"rung\":\"restricted_exact\"}");
+        let e = Event::RungFinished {
+            rung: Rung::Heuristic,
+            outcome: Outcome::MemoryExceeded,
+            accepted: true,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"rung_finished\",\"rung\":\"heuristic\",\
+             \"outcome\":\"memory_exceeded\",\"accepted\":true}"
+        );
+        assert!(e.to_string().contains("accepted"));
+    }
+
+    /// A writer that panics on its first write, then behaves normally —
+    /// poisons the sink's lock exactly the way a faulty sink user would.
+    #[derive(Default)]
+    struct PanicOnceWriter {
+        armed: bool,
+        lines: Vec<u8>,
+    }
+
+    impl Write for PanicOnceWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.armed {
+                self.armed = false;
+                panic!("injected writer panic");
+            }
+            self.lines.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn json_sink_survives_poisoning() {
+        let sink = Arc::new(JsonLinesSink::new(PanicOnceWriter {
+            armed: true,
+            lines: Vec::new(),
+        }));
+        // First emit panics inside the lock on a scoped thread, poisoning
+        // the mutex; the panic does not cross the join.
+        let sink2 = sink.clone();
+        let panicked = std::thread::spawn(move || {
+            sink2.emit(&Event::PhaseStarted { phase: Phase::Generate });
+        })
+        .join()
+        .is_err();
+        assert!(panicked);
+        // Both the later emit and into_inner recover from the poison.
+        sink.emit(&Event::PhaseStarted { phase: Phase::Cover });
+        let writer = Arc::into_inner(sink).expect("sole owner").into_inner();
+        let text = String::from_utf8(writer.lines).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"phase\":\"cover\""));
     }
 
     #[test]
@@ -739,5 +1324,59 @@ mod tests {
     fn phase_names_are_stable() {
         assert_eq!(Phase::Generate.as_str(), "generate");
         assert_eq!(Phase::Cover.to_string(), "cover");
+    }
+
+    /// Registry-touching tests must not interleave: the registry is
+    /// process-global. One test owns all failpoint assertions.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn failpoint_registry_actions() {
+        use crate::failpoints::{self, FailAction};
+
+        failpoints::clear_all();
+        let ctx = RunCtx::new().with_mem_budget(None, Some(100));
+
+        // Unarmed sites count hits and do nothing.
+        ctx.failpoint("test.site");
+        assert_eq!(failpoints::hits("test.site"), 1);
+        assert_eq!(ctx.stop_reason(), None);
+
+        // ChargeBytes feeds the context's governor.
+        failpoints::set("test.site", FailAction::ChargeBytes(100));
+        ctx.failpoint("test.site");
+        assert_eq!(ctx.stop_reason(), Some(Outcome::MemoryExceeded));
+
+        // set_after skips the first `n` hits.
+        failpoints::clear_all();
+        failpoints::set_after("test.skip", 2, FailAction::ChargeBytes(1));
+        let ctx = RunCtx::new().with_mem_budget(None, None);
+        ctx.failpoint("test.skip");
+        ctx.failpoint("test.skip");
+        assert_eq!(ctx.governor().bytes(), 0);
+        ctx.failpoint("test.skip");
+        ctx.failpoint("test.skip");
+        assert_eq!(ctx.governor().bytes(), 2);
+        assert_eq!(failpoints::hits("test.skip"), 4);
+
+        // Panic fires a real panic (caught here) and does not wedge the
+        // registry for later hits.
+        failpoints::set("test.panic", FailAction::Panic("boom".to_owned()));
+        let ctx2 = ctx.clone();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx2.failpoint("test.panic");
+        }));
+        assert!(caught.is_err());
+        failpoints::clear("test.panic");
+        ctx.failpoint("test.panic"); // disarmed: no panic
+        assert_eq!(failpoints::hits("test.panic"), 2);
+
+        // Delay sleeps for the configured duration.
+        failpoints::set("test.delay", FailAction::Delay(Duration::from_millis(20)));
+        let start = Instant::now();
+        ctx.failpoint("test.delay");
+        assert!(start.elapsed() >= Duration::from_millis(20));
+
+        failpoints::clear_all();
+        assert_eq!(failpoints::hits("test.skip"), 0);
     }
 }

@@ -12,8 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 /// Worker-thread budget for parallel phases.
@@ -68,16 +70,123 @@ fn auto_threads() -> usize {
     static AUTO: OnceLock<usize> = OnceLock::new();
     *AUTO.get_or_init(|| {
         let env = std::env::var("SPP_THREADS").ok();
-        parse_spp_threads(env.as_deref()).unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
-        })
+        let all_cores =
+            || std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        match parse_spp_threads(env.as_deref()) {
+            SppThreads::Count(n) => n,
+            SppThreads::Unset => all_cores(),
+            SppThreads::Invalid => {
+                // Warn exactly once (the OnceLock init runs once): a typo'd
+                // override silently using all cores is a debugging trap.
+                eprintln!(
+                    "spp: ignoring invalid SPP_THREADS value {:?}; using all cores",
+                    env.as_deref().unwrap_or("")
+                );
+                all_cores()
+            }
+        }
     })
 }
 
-/// Pure parsing half of the `SPP_THREADS` override, split out for testing:
-/// `Some(n)` for a parseable positive count (clamped to ≥ 1), else `None`.
-fn parse_spp_threads(value: Option<&str>) -> Option<usize> {
-    value.and_then(|v| v.trim().parse::<usize>().ok()).map(|n| n.max(1))
+/// How the `SPP_THREADS` environment variable parsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SppThreads {
+    /// The variable is not set.
+    Unset,
+    /// A parseable positive count (clamped to ≥ 1).
+    Count(usize),
+    /// Set but not a usize — the caller should warn and fall back.
+    Invalid,
+}
+
+/// Pure parsing half of the `SPP_THREADS` override, split out for testing.
+fn parse_spp_threads(value: Option<&str>) -> SppThreads {
+    match value {
+        None => SppThreads::Unset,
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) => SppThreads::Count(n.max(1)),
+            Err(_) => SppThreads::Invalid,
+        },
+    }
+}
+
+/// The typed result of a worker that panicked inside a
+/// [`try_par_workers`]/[`try_par_ranges`] isolation boundary.
+///
+/// The panic was caught with `catch_unwind` on the worker's own thread, so
+/// it never unwinds across the scope join (no poisoned locks held by the
+/// helper, no process abort) and the surviving workers' results are intact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The worker index (`0..threads`) that panicked.
+    pub worker: usize,
+    /// Best-effort panic payload text (`&str`/`String` payloads; a fixed
+    /// placeholder otherwise).
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker {} panicked: {}", self.worker, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Best-effort text of a caught panic payload (`&str`/`String` payloads;
+/// a fixed placeholder otherwise). For isolation boundaries that call
+/// `catch_unwind` themselves rather than through [`try_par_workers`].
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// [`par_workers`] with panic isolation: each worker runs under
+/// `catch_unwind`, so one panicking worker yields an `Err` slot while every
+/// other worker finishes and returns its result.
+pub fn try_par_workers<R, F>(threads: usize, worker: F) -> Vec<Result<R, WorkerPanic>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let guarded = |w: usize| {
+        catch_unwind(AssertUnwindSafe(|| worker(w)))
+            .map_err(|p| WorkerPanic { worker: w, message: panic_message(p.as_ref()) })
+    };
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![guarded(0)];
+    }
+    std::thread::scope(|scope| {
+        let guarded = &guarded;
+        let handles: Vec<_> = (0..threads).map(|w| scope.spawn(move || guarded(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panic already caught"))
+            .collect()
+    })
+}
+
+/// [`par_ranges`] with panic isolation: runs `f` on up to `threads`
+/// contiguous ranges of `0..count`, returning per-range results in range
+/// order with panics converted to `Err` slots (see [`try_par_workers`]).
+pub fn try_par_ranges<R, F>(
+    threads: usize,
+    count: usize,
+    f: F,
+) -> Vec<Result<R, WorkerPanic>>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let workers = threads.max(1).min(count.max(1));
+    try_par_workers(workers, |w| f(chunk_bounds(count, workers, w)))
 }
 
 /// Runs `worker(w)` for every `w in 0..threads` on scoped threads and
@@ -86,7 +195,8 @@ fn parse_spp_threads(value: Option<&str>) -> Option<usize> {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker.
+/// Propagates a panic from any worker. Use [`try_par_workers`] when a
+/// worker fault must not take the run down.
 pub fn par_workers<R, F>(threads: usize, worker: F) -> Vec<R>
 where
     R: Send,
@@ -193,12 +303,16 @@ mod tests {
 
     #[test]
     fn spp_threads_parsing() {
-        assert_eq!(parse_spp_threads(None), None);
-        assert_eq!(parse_spp_threads(Some("garbage")), None);
-        assert_eq!(parse_spp_threads(Some("")), None);
-        assert_eq!(parse_spp_threads(Some("8")), Some(8));
-        assert_eq!(parse_spp_threads(Some(" 3\n")), Some(3));
-        assert_eq!(parse_spp_threads(Some("0")), Some(1));
+        // Unset is distinguished from malformed so that only the latter
+        // warns (the warning itself fires in auto_threads' one-time init).
+        assert_eq!(parse_spp_threads(None), SppThreads::Unset);
+        assert_eq!(parse_spp_threads(Some("garbage")), SppThreads::Invalid);
+        assert_eq!(parse_spp_threads(Some("")), SppThreads::Invalid);
+        assert_eq!(parse_spp_threads(Some("-2")), SppThreads::Invalid);
+        assert_eq!(parse_spp_threads(Some("3.5")), SppThreads::Invalid);
+        assert_eq!(parse_spp_threads(Some("8")), SppThreads::Count(8));
+        assert_eq!(parse_spp_threads(Some(" 3\n")), SppThreads::Count(3));
+        assert_eq!(parse_spp_threads(Some("0")), SppThreads::Count(1));
     }
 
     #[test]
@@ -252,5 +366,52 @@ mod tests {
     fn empty_inputs_are_fine() {
         assert_eq!(par_map_indices(8, 0, |i| i), Vec::<usize>::new());
         assert_eq!(par_map(8, Vec::<u8>::new(), |b| b), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn try_par_workers_isolates_a_panicking_worker() {
+        for threads in [1usize, 2, 4] {
+            let results = try_par_workers(threads, |w| {
+                if w == threads - 1 {
+                    panic!("injected panic in worker {w}");
+                }
+                w * 10
+            });
+            assert_eq!(results.len(), threads);
+            for (w, r) in results.iter().enumerate() {
+                if w == threads - 1 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.worker, w);
+                    assert!(err.message.contains("injected panic"), "{err}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), w * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_ranges_matches_par_ranges_when_nothing_panics() {
+        for threads in [1usize, 3, 8] {
+            let plain = par_ranges(threads, 50, |r| r.sum::<usize>());
+            let tried: Vec<usize> = try_par_ranges(threads, 50, |r| r.sum::<usize>())
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            assert_eq!(plain, tried);
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_text_is_best_effort() {
+        let results = try_par_workers(1, |_| -> usize { panic!("{}", 42) });
+        assert!(results[0].as_ref().unwrap_err().message.contains("42"));
+        let results = try_par_workers(1, |_| -> usize {
+            std::panic::panic_any(7_i32)
+        });
+        assert_eq!(
+            results[0].as_ref().unwrap_err().message,
+            "non-string panic payload"
+        );
     }
 }

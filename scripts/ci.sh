@@ -4,9 +4,10 @@
 #   scripts/ci.sh
 #
 # Runs the offline-friendly default build (no criterion), the full test
-# suite, clippy and rustdoc with warnings denied, a compile check of the
-# feature-gated Criterion bench targets, and a CLI smoke of the
-# deadline-degradation path.
+# suite, the fault-injection suite under --features failpoints (with
+# explicit poison-recovery gates), clippy and rustdoc with warnings
+# denied, a compile check of the feature-gated Criterion bench targets,
+# and CLI smokes of the deadline- and memory-degradation paths.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,6 +17,20 @@ cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test --workspace -q
+
+echo "==> cargo test --features failpoints (fault-injection suite)"
+cargo test --features failpoints -q --test failpoints
+cargo test -p spp-core --features failpoints -q
+cargo test -p spp-cover --features failpoints -q
+
+echo "==> poison-recovery gates (must exist AND pass, not be filtered away)"
+# grep reads the whole stream (no -q) so cargo never dies on SIGPIPE
+# under pipefail.
+cargo test --features failpoints --test failpoints \
+  shard_panic_while_holding_the_lock_is_recovered 2>&1 | grep "1 passed" >/dev/null
+cargo test -p spp-obs -q json_sink_survives_poisoning 2>&1 | grep "1 passed" >/dev/null
+cargo test -p spp-cover --features failpoints -q \
+  injected_subtree_panic_keeps_the_incumbent 2>&1 | grep "1 passed" >/dev/null
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -29,6 +44,10 @@ cargo check -p spp-bench --benches --features criterion-benches
 
 echo "==> CLI deadline smoke (--deadline-ms 1 must degrade, not break)"
 ./target/release/spp bench life --deadline-ms 1 --quiet | grep -q "deadline_exceeded"
+
+echo "==> CLI memory smoke (--mem-budget-mb 1 must land on a lower rung)"
+./target/release/spp bench adr4 --mem-budget-mb 1 --quiet --threads 2 \
+  | grep -E "rung|SP fallback" >/dev/null
 
 echo "==> bench schema smoke (report --json must emit spp-bench/3)"
 ./target/release/report --json --threads 1 -o /tmp/spp-ci-bench.json >/dev/null

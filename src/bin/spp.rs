@@ -15,6 +15,12 @@
 //!                      sequential code path)
 //!   --deadline-ms <t>  wall-clock budget for the whole run; on expiry every
 //!                      phase unwinds to a valid best-so-far form
+//!   --mem-budget-mb <m> memory-accounting budget: a hard cap of m MiB on the
+//!                      pseudocube pools and covering matrix (soft cap m/2
+//!                      degrades quality first). The default exact run then
+//!                      descends a degradation ladder — exact → 2-SPP →
+//!                      heuristic → SP — returning the first rung that fits,
+//!                      always verified
 //!   --progress         print progress events (levels, covers) to stderr
 //!   --events-json <f>  append progress events to <f> as JSON lines
 //!   --verilog <mod>    print a structural Verilog module
@@ -41,6 +47,7 @@ struct Options {
     multi: bool,
     threads: Option<usize>,
     deadline_ms: Option<u64>,
+    mem_budget_mb: Option<u64>,
     progress: bool,
     events_json: Option<String>,
     verilog: Option<String>,
@@ -62,8 +69,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: spp <minimize file.pla | bench name | list> \
          [--sp] [--2spp] [--heuristic k] [--multi] [--threads n] \
-         [--deadline-ms t] [--progress] [--events-json file] \
-         [--verilog module] [--blif model] [--quiet]\n\
+         [--deadline-ms t] [--mem-budget-mb m] [--progress] \
+         [--events-json file] [--verilog module] [--blif model] [--quiet]\n\
          worker threads default to the SPP_THREADS env var, else all cores; \
          --threads wins over SPP_THREADS"
     );
@@ -83,6 +90,7 @@ fn main() -> ExitCode {
         multi: false,
         threads: None,
         deadline_ms: None,
+        mem_budget_mb: None,
         progress: false,
         events_json: None,
         verilog: None,
@@ -108,6 +116,10 @@ fn main() -> ExitCode {
             "--deadline-ms" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(t) => options.deadline_ms = Some(t),
                 None => return usage(),
+            },
+            "--mem-budget-mb" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(m) if m > 0 => options.mem_budget_mb = Some(m),
+                _ => return usage(),
             },
             "--progress" => options.progress = true,
             "--events-json" => match it.next() {
@@ -201,6 +213,17 @@ fn build_sink(options: &Options) -> Result<Option<Arc<dyn EventSink>>, String> {
     })
 }
 
+/// The (soft, hard) byte budgets encoded by `--mem-budget-mb m`: a hard
+/// cap of `m` MiB and an advisory soft cap at half of it, so sessions
+/// degrade (truncate generation, skip exact covering refinement) before
+/// they are stopped.
+fn mem_budgets(options: &Options) -> Option<(u64, u64)> {
+    options.mem_budget_mb.map(|m| {
+        let hard = m.saturating_mul(1024 * 1024);
+        (hard / 2, hard)
+    })
+}
+
 /// The status suffix of a summary line: silent on an optimal complete run
 /// (keeping the historical output stable), `[upper bound]` on budget
 /// truncation, and the outcome name when a deadline or cancellation cut
@@ -229,16 +252,19 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
     fn configure<'f>(
         f: &'f BoolFn,
         spp_options: &SppOptions,
-        threads: Option<usize>,
+        options: &Options,
         deadline_at: Option<Instant>,
         sink: &Option<Arc<dyn EventSink>>,
     ) -> Minimizer<'f> {
         let mut m = Minimizer::new(f).options(spp_options.clone());
-        if let Some(n) = threads {
+        if let Some(n) = options.threads {
             m = m.threads(n);
         }
         if let Some(at) = deadline_at {
             m = m.deadline_at(at);
+        }
+        if let Some((soft, hard)) = mem_budgets(options) {
+            m = m.mem_budget(Some(soft), Some(hard));
         }
         if let Some(sink) = sink {
             m = m.on_event(sink.clone());
@@ -254,6 +280,9 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
         }
         if let Some(ms) = options.deadline_ms {
             session = session.deadline(Duration::from_millis(ms));
+        }
+        if let Some((soft, hard)) = mem_budgets(options) {
+            session = session.mem_budget(Some(soft), Some(hard));
         }
         if let Some(sink) = &sink {
             session = session.on_event(sink.clone());
@@ -282,7 +311,7 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
         forms = r.forms;
     } else {
         for (f, label) in outputs.iter().zip(labels) {
-            let session = configure(f, &spp_options, options.threads, deadline_at, &sink);
+            let session = configure(f, &spp_options, options, deadline_at, &sink);
             let (form, tag, optimal, outcome) = if options.sp {
                 // SP covering honours --threads too: parallelism rides
                 // inside the covering limits.
@@ -313,6 +342,17 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+            } else if options.mem_budget_mb.is_some() {
+                // Under a memory budget the exact run is the top rung of
+                // the degradation ladder; name the rung that answered.
+                let r = session.run_governed();
+                let tag = match r.rung {
+                    spp::core::Rung::Exact => "SPP",
+                    spp::core::Rung::RestrictedExact => "SPP (2-SPP rung)",
+                    spp::core::Rung::Heuristic => "SPP (heuristic rung)",
+                    spp::core::Rung::Sop => "SPP (SP fallback)",
+                };
+                (r.form.clone(), tag, r.optimal, r.outcome)
             } else {
                 let r = session.run_exact();
                 (r.form.clone(), "SPP", r.optimal, r.outcome)

@@ -1,0 +1,176 @@
+//! Fault-injection suite: drives every minimization phase through
+//! injected faults (worker panics, held-lock panics, allocation spikes,
+//! delays) and asserts the run survives with a *verified* form — no lost
+//! incumbent, no poisoned lock, no panic crossing the process boundary.
+//!
+//! Build with `cargo test --features failpoints`. The registry is
+//! process-global, so every test serializes itself behind [`registry`]
+//! and starts from a clean slate.
+//!
+//! Site cheat-sheet (where each failpoint fires):
+//! - `generate.worker` / `generate.shard`: inside generation worker
+//!   threads — isolated by `catch_unwind`, only reached at ≥ 2 threads
+//!   (one thread takes the sequential sweep). `generate.shard` fires
+//!   *while the shard mutex is held*, so a panic there poisons the lock.
+//! - `cover.subtree`: inside branch-and-bound subtree workers — isolated.
+//! - `generate.level`, `cover.columns`, `heuristic.descent`: on the
+//!   session's own thread — NOT isolated; arm only with `Delay` or
+//!   `ChargeBytes`, never `Panic`.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+use spp::boolfn::BoolFn;
+use spp::core::Rung;
+use spp::obs::failpoints::{self, FailAction};
+use spp::{Minimizer, Outcome};
+
+/// Serializes registry access across tests and clears leftover state. A
+/// test that fails while holding the guard poisons this mutex; later
+/// tests recover it instead of cascading.
+fn registry() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard =
+        GUARD.get_or_init(Mutex::default).lock().unwrap_or_else(PoisonError::into_inner);
+    failpoints::clear_all();
+    guard
+}
+
+/// A 5-variable function with enough structure that generation runs for
+/// several levels and covering has real choices to make.
+fn test_fn() -> BoolFn {
+    BoolFn::from_truth_fn(5, |x| x % 3 == 1 || x.count_ones() == 4)
+}
+
+#[test]
+fn generation_worker_panics_are_isolated() {
+    let _guard = registry();
+    let f = test_fn();
+    for threads in [1usize, 2, 4] {
+        failpoints::clear_all();
+        failpoints::set("generate.worker", FailAction::Panic("injected worker fault".into()));
+        let r = Minimizer::new(&f).threads(threads).run_exact();
+        r.form.check_realizes(&f).expect("form must stay valid");
+        assert_eq!(r.outcome, Outcome::Completed, "threads={threads}");
+        if threads == 1 {
+            // One thread takes the sequential sweep: no workers to kill.
+            assert!(r.faults.is_empty(), "threads=1 has no workers: {:?}", r.faults);
+        } else {
+            assert!(!r.faults.is_empty(), "threads={threads} must record the panic");
+            assert!(
+                r.faults.iter().all(|fault| fault.site == "generate.worker"),
+                "threads={threads}: {:?}",
+                r.faults
+            );
+            // Killed workers truncate generation, so optimality is waived.
+            assert!(!r.optimal, "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn shard_panic_while_holding_the_lock_is_recovered() {
+    let _guard = registry();
+    let f = test_fn();
+    for threads in [2usize, 4] {
+        failpoints::clear_all();
+        // Let a few unions land, then panic *inside* the held shard lock:
+        // the mutex is poisoned mid-insert and every later lock site (other
+        // workers, the merge) must recover rather than cascade.
+        failpoints::set_after(
+            "generate.shard",
+            3,
+            FailAction::Panic("injected while holding the shard lock".into()),
+        );
+        let r = Minimizer::new(&f).threads(threads).run_exact();
+        r.form.check_realizes(&f).expect("form must stay valid");
+        assert_eq!(r.outcome, Outcome::Completed, "threads={threads}");
+        assert!(!r.faults.is_empty(), "threads={threads} must record the panic");
+        for fault in &r.faults {
+            // The catch boundary is the worker, the payload names the site.
+            assert_eq!(fault.site, "generate.worker", "threads={threads}");
+            assert!(fault.message.contains("generate.shard"), "{:?}", fault);
+        }
+    }
+}
+
+#[test]
+fn cover_subtree_panics_keep_the_incumbent() {
+    let _guard = registry();
+    let f = test_fn();
+    for threads in [1usize, 2, 4] {
+        failpoints::clear_all();
+        failpoints::set("cover.subtree", FailAction::Panic("injected mid-cover".into()));
+        let r = Minimizer::new(&f).threads(threads).run_exact();
+        // Every subtree dies, but the greedy incumbent survives and covers.
+        r.form.check_realizes(&f).expect("incumbent must stay valid");
+        assert_eq!(r.outcome, Outcome::Completed, "threads={threads}");
+        assert!(
+            r.faults.iter().any(|fault| fault.site == "cover.subtree"),
+            "threads={threads}: {:?}",
+            r.faults
+        );
+        assert!(!r.optimal, "threads={threads}: lost subtrees waive optimality");
+    }
+}
+
+#[test]
+fn allocation_spike_during_generation_descends_the_ladder() {
+    let _guard = registry();
+    let f = test_fn();
+    // Every generation level "allocates" a terabyte: the exact and
+    // restricted rungs (which both run EPPP generation) blow the hard
+    // budget, while the heuristic rung never enters that generator and
+    // fits comfortably.
+    failpoints::set("generate.level", FailAction::ChargeBytes(1 << 40));
+    let r = Minimizer::new(&f)
+        .threads(2)
+        .mem_budget(None, Some(64 * 1024 * 1024))
+        .run_governed();
+    assert_eq!(r.rung, Rung::Heuristic, "outcome={:?}", r.outcome);
+    assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+    r.form.check_realizes(&f).expect("accepted rung must verify");
+}
+
+#[test]
+fn allocation_spike_during_covering_stops_with_memory_exceeded() {
+    let _guard = registry();
+    let f = test_fn();
+    failpoints::set("cover.columns", FailAction::ChargeBytes(1 << 40));
+    let r = Minimizer::new(&f).mem_budget(None, Some(1 << 20)).run_exact();
+    // The greedy cover lands before the budget check, so the result is
+    // valid — only the exact refinement is abandoned.
+    assert_eq!(r.outcome, Outcome::MemoryExceeded);
+    assert!(!r.optimal);
+    r.form.check_realizes(&f).expect("greedy cover must stay valid");
+}
+
+#[test]
+fn injected_delay_trips_the_deadline() {
+    let _guard = registry();
+    let f = test_fn();
+    failpoints::set("generate.level", FailAction::Delay(Duration::from_millis(40)));
+    let r = Minimizer::new(&f).deadline(Duration::from_millis(5)).run_exact();
+    assert_eq!(r.outcome, Outcome::DeadlineExceeded);
+    assert!(!r.optimal);
+    r.form.check_realizes(&f).expect("best-so-far must stay valid");
+}
+
+#[test]
+fn heuristic_descent_site_fires_and_respects_the_budget() {
+    let _guard = registry();
+    let f = test_fn();
+    // Unarmed, the site still counts hits: one per descent step.
+    let r = Minimizer::new(&f).run_heuristic(2).expect("k in range");
+    assert_eq!(failpoints::hits("heuristic.descent"), 2);
+    r.form.check_realizes(&f).expect("heuristic form must verify");
+
+    // Armed with an allocation spike, the descent trips the hard budget
+    // and the session returns its (valid) seed-based best-so-far.
+    failpoints::set("heuristic.descent", FailAction::ChargeBytes(1 << 40));
+    let r = Minimizer::new(&f).mem_budget(None, Some(1 << 20)).run_heuristic(2).expect("k in range");
+    assert_eq!(r.outcome, Outcome::MemoryExceeded);
+    r.form.check_realizes(&f).expect("truncated heuristic must stay valid");
+}
