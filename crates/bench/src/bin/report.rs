@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p spp-bench --bin report [--full] [-o report.md]
-//! cargo run --release -p spp-bench --bin report -- --json [--threads N] [-o BENCH_spp.json]
+//! cargo run --release -p spp-bench --bin report -- --json [--threads N] \
+//!     [--cache-dir DIR] [-o BENCH_spp.json]
 //! ```
 //!
 //! The JSON report times EPPP construction on the harness's hardest
@@ -22,14 +23,23 @@
 //! N` pins that budget and **wins over the `SPP_THREADS` environment
 //! variable**; with neither, the budget is the machine's available
 //! parallelism.
+//!
+//! With `--cache-dir DIR` every entry additionally times a cache-warmed
+//! re-generation (`warm_wall_ms`, `null` when the set was truncated and
+//! therefore uncacheable) through an [`spp_core::SppCache`] persisted at
+//! `DIR`, and the baseline's top-level `cache` object carries the final
+//! [`spp_core::CacheStats`] — zeros when caching is off, so the schema
+//! (`spp-bench/4`) is stable either way.
 
 use std::io::Write as _;
 use std::process::Command;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use spp_bench::{circuit_or_die, timed_eppp_with, Mode};
-use spp_core::{Event, EventSink, Grouping, Parallelism, RunCtx};
+use spp_bench::{circuit_or_die, timed_eppp_cached, timed_eppp_with, Mode};
+use spp_core::{
+    CacheConfig, CacheStats, Event, EventSink, Grouping, Parallelism, RunCtx, SppCache,
+};
 
 const SECTIONS: &[(&str, &str)] = &[
     ("Table 1 — SP vs SPP minimal forms", "table1"),
@@ -53,6 +63,9 @@ struct BenchEntry {
     grouping: &'static str,
     threads: usize,
     wall_ms: Vec<f64>,
+    /// Wall time of a cache-warmed re-generation; `None` without
+    /// `--cache-dir` or when the set was truncated (uncacheable).
+    warm_wall_ms: Option<f64>,
     cover_ms: f64,
     cover_nodes: u64,
     cover_threads: usize,
@@ -83,7 +96,8 @@ impl BenchEntry {
         // escaping needed.
         format!(
             "    {{\"name\": \"{}\", \"grouping\": \"{}\", \"threads\": {}, \"runs\": {}, \
-             \"wall_ms_min\": {:.3}, \"wall_ms_median\": {:.3}, \"cover_ms\": {:.3}, \
+             \"wall_ms_min\": {:.3}, \"wall_ms_median\": {:.3}, \"warm_wall_ms\": {}, \
+             \"cover_ms\": {:.3}, \
              \"cover_nodes\": {}, \"cover_threads\": {}, \"comparisons\": {}, \"eppp\": {}, \
              \"max_level\": {}, \"spp_literals\": {}, \"truncated\": {}, \"outcome\": \"{}\"}}",
             self.name,
@@ -92,6 +106,7 @@ impl BenchEntry {
             self.wall_ms.len(),
             self.wall_ms.iter().copied().fold(f64::INFINITY, f64::min),
             self.wall_ms_median(),
+            self.warm_wall_ms.map_or_else(|| "null".to_owned(), |v| format!("{v:.3}")),
             self.cover_ms,
             self.cover_nodes,
             self.cover_threads,
@@ -152,12 +167,14 @@ fn emit_json(
     out_path: &str,
     full: bool,
     threads_flag: Option<usize>,
+    cache_dir: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let mode = if full { Mode::Full } else { Mode::Fast };
     // `--threads` wins over the SPP_THREADS environment default (which
     // Parallelism::AUTO already folds in).
     let budget = threads_flag.map_or(Parallelism::AUTO, Parallelism::fixed);
     let resolved_threads = budget.threads();
+    let cache = cache_dir.map(|dir| SppCache::new(CacheConfig::default().with_dir(dir)));
     let mut entries: Vec<BenchEntry> = Vec::new();
     for &(name, idx) in JSON_ROWS {
         let f = circuit_or_die(name).output_on_support(idx);
@@ -171,6 +188,23 @@ fn emit_json(
             let limits = spp_bench::table2_gen_limits(mode).with_parallelism(parallelism);
             eprintln!("timing {name}({idx}) {grouping_label} x{} ...", parallelism.threads());
             let (set, dt) = timed_eppp_with(&f, grouping, &limits);
+            // The cache-warmed re-run: populate once (insertion or an
+            // earlier run's disk entry), then time the warm generate.
+            // Truncated sets are never cached — their warm time stays
+            // null rather than measuring a silent re-generation.
+            let warm_wall_ms = cache.as_ref().and_then(|cache| {
+                if set.stats.truncated || !set.stats.outcome.is_completed() {
+                    return None;
+                }
+                let _ = timed_eppp_cached(&f, grouping, &limits, cache);
+                let (warm, warm_dt) = timed_eppp_cached(&f, grouping, &limits, cache);
+                assert_eq!(
+                    warm.pseudocubes.len(),
+                    set.pseudocubes.len(),
+                    "cached EPPP set diverged from the cold one"
+                );
+                Some(warm_dt.as_secs_f64() * 1e3)
+            });
             // #L depends only on the candidate set; every non-truncated
             // configuration yields the same one, so solve the cover once.
             let (lits, cover_ms, cover_nodes) =
@@ -183,12 +217,17 @@ fn emit_json(
                 (e.name.as_str(), e.grouping, e.threads) == (key.0.as_str(), key.1, key.2)
             }) {
                 entry.wall_ms.push(wall_ms);
+                entry.warm_wall_ms = match (entry.warm_wall_ms, warm_wall_ms) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
             } else {
                 entries.push(BenchEntry {
                     name: key.0,
                     grouping: grouping_label,
                     threads: parallelism.threads(),
                     wall_ms: vec![wall_ms],
+                    warm_wall_ms,
                     cover_ms,
                     cover_nodes,
                     cover_threads: budget.threads(),
@@ -203,11 +242,13 @@ fn emit_json(
         }
     }
     let body: Vec<String> = entries.iter().map(BenchEntry::to_json).collect();
+    let cache_stats = cache.as_ref().map_or_else(CacheStats::default, |c| c.stats());
     let json = format!(
-        "{{\n  \"schema\": \"spp-bench/3\",\n  \"profile\": \"{}\",\n  \
-         \"resolved_threads\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"spp-bench/4\",\n  \"profile\": \"{}\",\n  \
+         \"resolved_threads\": {},\n  \"cache\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
         if full { "full" } else { "fast" },
         resolved_threads,
+        cache_stats.to_json(),
         body.join(",\n")
     );
     std::fs::write(out_path, json)?;
@@ -224,6 +265,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse::<usize>().expect("--threads takes a positive integer"));
+    let cache_dir = args
+        .iter()
+        .position(|a| a == "--cache-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let out_path = args
         .iter()
         .position(|a| a == "-o")
@@ -231,7 +277,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .cloned()
         .unwrap_or_else(|| if json { "BENCH_spp.json".to_owned() } else { "report.md".to_owned() });
     if json {
-        return emit_json(&out_path, full, threads_flag);
+        return emit_json(&out_path, full, threads_flag, cache_dir.as_deref());
     }
 
     // The sibling binaries live next to this one.

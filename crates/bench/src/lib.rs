@@ -247,6 +247,26 @@ pub fn timed_eppp_with(
     timed(|| Minimizer::new(f).grouping(grouping).limits(limits.clone()).generate())
 }
 
+/// Generates the EPPP set of `f` under explicit limits with a result
+/// cache attached, timing it. A second call against the same (or a
+/// persisted) cache answers from it without re-generating — the warm
+/// half of the `report --json` baseline.
+#[must_use]
+pub fn timed_eppp_cached(
+    f: &BoolFn,
+    grouping: Grouping,
+    limits: &spp_core::GenLimits,
+    cache: &spp_core::SppCache,
+) -> (EpppSet, Duration) {
+    timed(|| {
+        Minimizer::new(f)
+            .grouping(grouping)
+            .limits(limits.clone())
+            .cache(cache.clone())
+            .generate()
+    })
+}
+
 /// Generation budgets for the Table 2 timing comparison: generous enough
 /// that the partition trie finishes while the quadratic baseline visibly
 /// pays its `|X|²/2` comparisons (and stars out on the hardest outputs,

@@ -1,0 +1,256 @@
+//! The versioned, checksummed on-disk entry store.
+//!
+//! One file per cache entry, named after the full key:
+//!
+//! ```text
+//! {kind}-{num_vars:04x}{output_index:08x}-{dc_hash:016x}{tt_hash:016x}-{options_hash:016x}.sppc
+//! ```
+//!
+//! and laid out as (all integers little-endian):
+//!
+//! ```text
+//! magic      4 bytes  b"SPPC"
+//! container  u32      container-format version (currently 1)
+//! schema     u32      CacheValue::SCHEMA of the payload codec
+//! num_vars   u16      ┐
+//! out_index  u32      │ the key, repeated inside the file so a renamed
+//! dc_hash    u64      │ or copied file can never masquerade as a
+//! tt_hash    u64      │ different entry
+//! kind       u8       │
+//! opts_hash  u64      ┘
+//! len        u64      payload length in bytes
+//! checksum   u64      FNV-1a over the payload bytes
+//! payload    len bytes
+//! ```
+//!
+//! Writes go through a temp file + atomic rename, so a crash mid-write
+//! leaves at worst a stale `.tmp` (ignored by loads) — never a torn entry.
+//! Loads validate every layer and report the first failure as a
+//! `(path, reason)` pair; reasons are the stable tokens `truncated`,
+//! `magic`, `version`, `schema`, `key`, `checksum`, `decode`, which the
+//! cache forwards as [`spp_obs::Event::CacheCorruptEntry`]. Store errors
+//! (disk full, permissions) are swallowed: persistence is an optimization,
+//! never a correctness dependency.
+
+use std::path::{Path, PathBuf};
+
+use crate::wire::{put_u16, put_u32, put_u64, put_u8, Reader};
+use crate::{fnv1a, CacheKey, CacheValue, EntryKind, Fingerprint};
+
+const MAGIC: &[u8; 4] = b"SPPC";
+const CONTAINER_VERSION: u32 = 1;
+
+/// A directory of one-file-per-entry cache records. See the module docs
+/// for format and failure semantics.
+#[derive(Clone, Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// A store rooted at `dir` (created lazily on first write).
+    #[must_use]
+    pub fn new(dir: PathBuf) -> Self {
+        DiskStore { dir }
+    }
+
+    /// The directory this store reads and writes.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        let fp = &key.fingerprint;
+        self.dir.join(format!(
+            "{}-{:04x}{:08x}-{:016x}{:016x}-{:016x}.sppc",
+            key.kind.as_str(),
+            fp.num_vars,
+            fp.output_index,
+            fp.dc_hash,
+            fp.tt_hash,
+            key.options_hash
+        ))
+    }
+
+    /// Persists `value` under `key`. Best-effort: I/O failures are
+    /// silently dropped (the in-memory cache is unaffected).
+    pub fn store<V: CacheValue>(&self, key: &CacheKey, value: &V) {
+        let mut payload = Vec::new();
+        value.encode(&mut payload);
+        let mut bytes = Vec::with_capacity(payload.len() + 64);
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, CONTAINER_VERSION);
+        put_u32(&mut bytes, V::SCHEMA);
+        let fp = &key.fingerprint;
+        put_u16(&mut bytes, fp.num_vars);
+        put_u32(&mut bytes, fp.output_index);
+        put_u64(&mut bytes, fp.dc_hash);
+        put_u64(&mut bytes, fp.tt_hash);
+        put_u8(&mut bytes, key.kind.to_u8());
+        put_u64(&mut bytes, key.options_hash);
+        put_u64(&mut bytes, payload.len() as u64);
+        put_u64(&mut bytes, fnv1a(&payload));
+        bytes.extend_from_slice(&payload);
+
+        let path = self.entry_path(key);
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        // Temp file + rename keeps loads from ever seeing a half-written
+        // entry; the process id keeps concurrent writers apart.
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Loads the entry for `key`.
+    ///
+    /// `Ok(None)` means "no such entry" (also used for unreadable files —
+    /// indistinguishable from absence); `Err((path, reason))` means a file
+    /// exists but failed validation and should be surfaced + removed.
+    pub fn load<V: CacheValue>(
+        &self,
+        key: &CacheKey,
+    ) -> Result<Option<V>, (String, String)> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => return Ok(None),
+        };
+        match parse::<V>(&bytes, key) {
+            Ok(value) => Ok(Some(value)),
+            Err(reason) => Err((path.display().to_string(), reason.to_string())),
+        }
+    }
+}
+
+fn parse<V: CacheValue>(bytes: &[u8], key: &CacheKey) -> Result<V, &'static str> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4).ok_or("truncated")?;
+    if magic != MAGIC {
+        return Err("magic");
+    }
+    if r.u32().ok_or("truncated")? != CONTAINER_VERSION {
+        return Err("version");
+    }
+    if r.u32().ok_or("truncated")? != V::SCHEMA {
+        return Err("schema");
+    }
+    let stored = CacheKey {
+        fingerprint: Fingerprint {
+            num_vars: r.u16().ok_or("truncated")?,
+            output_index: r.u32().ok_or("truncated")?,
+            dc_hash: r.u64().ok_or("truncated")?,
+            tt_hash: r.u64().ok_or("truncated")?,
+        },
+        kind: EntryKind::from_u8(r.u8().ok_or("truncated")?).ok_or("key")?,
+        options_hash: r.u64().ok_or("truncated")?,
+    };
+    if stored != *key {
+        return Err("key");
+    }
+    let len = r.u64().ok_or("truncated")?;
+    let checksum = r.u64().ok_or("truncated")?;
+    let len = usize::try_from(len).map_err(|_| "truncated")?;
+    if r.remaining() != len {
+        return Err("truncated");
+    }
+    let payload = r.take(len).ok_or("truncated")?;
+    if fnv1a(payload) != checksum {
+        return Err("checksum");
+    }
+    V::decode(payload).ok_or("decode")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Blob(Vec<u8>);
+
+    impl CacheValue for Blob {
+        const SCHEMA: u32 = 3;
+        fn approx_bytes(&self) -> u64 {
+            self.0.len() as u64
+        }
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.0);
+        }
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            Some(Blob(bytes.to_vec()))
+        }
+    }
+
+    fn key() -> CacheKey {
+        CacheKey {
+            fingerprint: Fingerprint {
+                num_vars: 6,
+                output_index: 2,
+                dc_hash: 0xaaaa,
+                tt_hash: 0xbbbb,
+            },
+            kind: EntryKind::Eppp,
+            options_hash: 0xcccc,
+        }
+    }
+
+    fn encode(value: &Blob, key: &CacheKey) -> Vec<u8> {
+        let dir = std::env::temp_dir()
+            .join(format!("spp-cache-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::new(dir.clone());
+        store.store(key, value);
+        let bytes = std::fs::read(store.entry_path(key)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    }
+
+    #[test]
+    fn parse_validates_every_layer() {
+        let bytes = encode(&Blob(vec![1, 2, 3, 4]), &key());
+        assert_eq!(parse::<Blob>(&bytes, &key()), Ok(Blob(vec![1, 2, 3, 4])));
+
+        assert_eq!(parse::<Blob>(&bytes[..2], &key()), Err("truncated"));
+        assert_eq!(parse::<Blob>(&bytes[..20], &key()), Err("truncated"));
+        assert_eq!(parse::<Blob>(b"", &key()), Err("truncated"));
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(parse::<Blob>(&bad, &key()), Err("magic"));
+
+        let mut bad = bytes.clone();
+        bad[4] = 99; // container version
+        assert_eq!(parse::<Blob>(&bad, &key()), Err("version"));
+
+        let mut bad = bytes.clone();
+        bad[8] = 99; // schema
+        assert_eq!(parse::<Blob>(&bad, &key()), Err("schema"));
+
+        let mut other = key();
+        other.options_hash ^= 1;
+        assert_eq!(parse::<Blob>(&bytes, &other), Err("key"));
+
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40; // payload bit flip
+        assert_eq!(parse::<Blob>(&bad, &key()), Err("checksum"));
+
+        let mut bad = bytes.clone();
+        bad.push(0); // trailing garbage changes the apparent length
+        assert_eq!(parse::<Blob>(&bad, &key()), Err("truncated"));
+    }
+
+    #[test]
+    fn file_names_encode_the_full_key() {
+        let store = DiskStore::new(PathBuf::from("/nowhere"));
+        let name = store.entry_path(&key());
+        let name = name.file_name().unwrap().to_str().unwrap();
+        assert_eq!(
+            name,
+            "eppp-000600000002-000000000000aaaa000000000000bbbb-000000000000cccc.sppc"
+        );
+    }
+}

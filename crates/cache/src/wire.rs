@@ -1,0 +1,128 @@
+//! Minimal little-endian serialization helpers shared by the on-disk
+//! store and the payload codecs in `spp-core`.
+//!
+//! The workspace has no serde; every persisted byte is written and parsed
+//! by hand through these helpers so the two sides cannot drift. All
+//! integers are little-endian regardless of host.
+//!
+//! # Examples
+//!
+//! ```
+//! use spp_cache::wire::{put_u16, put_u64, Reader};
+//!
+//! let mut buf = Vec::new();
+//! put_u16(&mut buf, 7);
+//! put_u64(&mut buf, u64::MAX);
+//! let mut r = Reader::new(&buf);
+//! assert_eq!(r.u16(), Some(7));
+//! assert_eq!(r.u64(), Some(u64::MAX));
+//! assert!(r.is_empty());
+//! assert_eq!(r.u16(), None); // out of bytes, not a panic
+//! ```
+
+/// Appends `v` as one byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends `v` as two little-endian bytes.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` as four little-endian bytes.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` as eight little-endian bytes.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked cursor over a byte slice. Every read returns `None`
+/// past the end instead of panicking, so decoders degrade to "entry
+/// rejected" on truncation.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// The bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed — decoders check this to
+    /// reject trailing garbage.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xab);
+        put_u16(&mut buf, 0x1234);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, 0x0102_0304_0506_0708);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), Some(0xab));
+        assert_eq!(r.u16(), Some(0x1234));
+        assert_eq!(r.u32(), Some(0xdead_beef));
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.u64(), Some(0x0102_0304_0506_0708));
+        assert!(r.is_empty());
+        assert_eq!(r.u8(), None);
+
+        let mut r = Reader::new(&buf[..3]);
+        assert_eq!(r.u8(), Some(0xab));
+        assert_eq!(r.u32(), None); // only 2 bytes left
+        assert_eq!(r.u16(), Some(0x1234)); // a failed read consumes nothing
+        assert_eq!(r.take(1), None);
+    }
+}

@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod cex;
 mod error;
 mod form;
@@ -79,6 +80,7 @@ mod subpseudo;
 mod trie;
 mod verify;
 
+pub use cache::SppCache;
 pub use cex::{Cex, EmptyPseudoproductError, ExorFactor};
 pub use error::{parse_pla, SppError};
 pub use form::SppForm;
@@ -94,6 +96,7 @@ pub use minimize::{minimize_spp_exact, SppMinResult, SppOptions};
 pub use multi::{minimize_spp_multi, MultiSppResult};
 pub use pseudocube::Pseudocube;
 pub use session::{Minimizer, MultiMinimizer};
+pub use spp_cache::{CacheConfig, CacheStats};
 pub use spp_obs::{
     CancelToken, Event, EventSink, Fault, JsonLinesSink, NullSink, Outcome, Phase,
     ResourceGovernor, RunCtx, Rung, StderrSink,

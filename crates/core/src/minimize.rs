@@ -1,11 +1,11 @@
 //! End-to-end exact SPP minimization (Algorithm 2).
 
 use spp_boolfn::BoolFn;
-use spp_cover::{solve_auto_ctx, CoverProblem};
+use spp_cover::{solve_auto_warm, CoverProblem, CoverSolution};
 use spp_obs::{Event, Fault, Outcome, Phase, RunCtx, Rung};
 
 use crate::generate::generate_eppp_session;
-use crate::{GenLimits, GenStats, Grouping, Pseudocube, SppForm};
+use crate::{GenLimits, GenStats, Grouping, Pseudocube, SppCache, SppForm};
 
 /// Configuration of the SPP minimizers.
 ///
@@ -127,9 +127,44 @@ pub fn minimize_spp_exact(f: &BoolFn, options: &SppOptions) -> SppMinResult {
 /// generation and covering outcomes and always returns a valid (possibly
 /// best-so-far) form.
 pub(crate) fn exact_session(f: &BoolFn, options: &SppOptions, ctx: &RunCtx) -> SppMinResult {
+    exact_session_cached(f, options, ctx, None)
+}
+
+/// [`exact_session`] with an optional result cache: a verified result hit
+/// skips both phases, an EPPP hit skips generation, and a sibling result
+/// (same function, different options) warm-starts the covering search.
+/// Completed work flows back into the cache on the way out.
+pub(crate) fn exact_session_cached(
+    f: &BoolFn,
+    options: &SppOptions,
+    ctx: &RunCtx,
+    cache: Option<&SppCache>,
+) -> SppMinResult {
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.get_result(f, options, ctx) {
+            return hit;
+        }
+    }
     let gen_start = std::time::Instant::now();
     ctx.emit(Event::PhaseStarted { phase: Phase::Generate });
-    let eppp = generate_eppp_session(f, options.grouping, &options.gen_limits, &|_| true, ctx);
+    let cached_eppp =
+        cache.and_then(|c| c.get_eppp(f, options.grouping, 0, ctx));
+    let eppp = match cached_eppp {
+        Some(set) => set,
+        None => {
+            let set = generate_eppp_session(
+                f,
+                options.grouping,
+                &options.gen_limits,
+                &|_| true,
+                ctx,
+            );
+            if let Some(cache) = cache {
+                cache.put_eppp(f, options.grouping, 0, &set, ctx);
+            }
+            set
+        }
+    };
     let mut outcome = eppp.stats.outcome;
     let mut candidates = eppp.pseudocubes;
     if eppp.stats.truncated {
@@ -154,12 +189,18 @@ pub(crate) fn exact_session(f: &BoolFn, options: &SppOptions, ctx: &RunCtx) -> S
     });
     let cover_start = std::time::Instant::now();
     ctx.emit(Event::PhaseStarted { phase: Phase::Cover });
-    let (mut form, cover_optimal, cover_outcome) = cover_with_candidates(
+    // A result for the same function under *different* options (say,
+    // different covering budgets) can't answer this key, but its terms are
+    // a known cover — seed the branch & bound with them.
+    let warm_terms = cache.and_then(|c| c.warm_form(f));
+    let (mut form, cover_optimal, cover_outcome) = cover_with_candidates_warm(
         f,
         &candidates,
         &options.cover_limits,
         options.gen_limits.parallelism,
         ctx,
+        warm_terms.as_deref(),
+        cache,
     );
     outcome = outcome.merge(cover_outcome);
     if eppp.stats.truncated {
@@ -179,7 +220,7 @@ pub(crate) fn exact_session(f: &BoolFn, options: &SppOptions, ctx: &RunCtx) -> S
         wall: cover_elapsed,
         outcome: cover_outcome,
     });
-    SppMinResult {
+    let result = SppMinResult {
         form,
         num_candidates: candidates.len(),
         optimal: cover_optimal && !eppp.stats.truncated && outcome.is_completed(),
@@ -189,7 +230,13 @@ pub(crate) fn exact_session(f: &BoolFn, options: &SppOptions, ctx: &RunCtx) -> S
         outcome,
         rung: Rung::Exact,
         faults: ctx.faults(),
+    };
+    if let Some(cache) = cache {
+        // Only proved-optimal results are inserted (put_result re-verifies
+        // the form against `f` before storing).
+        cache.put_result(f, options, &result, ctx);
     }
+    result
 }
 
 /// Solves the minimum-literal covering of `f`'s ON-set by the given
@@ -202,6 +249,24 @@ pub(crate) fn cover_with_candidates(
     parallelism: spp_par::Parallelism,
     ctx: &RunCtx,
 ) -> (SppForm, bool, Outcome) {
+    cover_with_candidates_warm(f, candidates, limits, parallelism, ctx, None, None)
+}
+
+/// [`cover_with_candidates`] optionally seeded with the terms of a
+/// previously cached cover of the *same function*. The terms are mapped
+/// back to candidate indices; if every term is still among the candidates
+/// the selection covers the ON-set by construction and becomes the branch
+/// & bound's initial incumbent ([`solve_auto_warm`] re-validates and
+/// re-costs it anyway — defense in depth against a mismapped seed).
+pub(crate) fn cover_with_candidates_warm(
+    f: &BoolFn,
+    candidates: &[Pseudocube],
+    limits: &spp_cover::Limits,
+    parallelism: spp_par::Parallelism,
+    ctx: &RunCtx,
+    warm_terms: Option<&[Pseudocube]>,
+    cache: Option<&SppCache>,
+) -> (SppForm, bool, Outcome) {
     let on = f.on_set();
     let mut problem = CoverProblem::new(on.len());
     // The full-space pseudocube (tautology) has 0 literals; clamp so
@@ -210,11 +275,22 @@ pub(crate) fn cover_with_candidates(
         let pc = &candidates[c];
         (rows_covered(on, pc), pc.literal_count().max(1))
     });
+    let warm = warm_terms.and_then(|terms| {
+        let index: std::collections::HashMap<&Pseudocube, usize> =
+            candidates.iter().enumerate().map(|(c, pc)| (pc, c)).collect();
+        let columns: Vec<usize> =
+            terms.iter().map(|t| index.get(t).copied()).collect::<Option<_>>()?;
+        let cost = columns.iter().map(|&c| candidates[c].literal_count().max(1)).sum();
+        Some(CoverSolution { columns, cost, optimal: false })
+    });
+    if let (Some(warm), Some(cache)) = (&warm, cache) {
+        cache.note_warm_start(warm.columns.len(), ctx);
+    }
     // The covering search fans out on the same session worker budget as
     // generation (the result is thread-count-invariant, so this only
     // changes speed).
     let limits = limits.clone().with_parallelism(parallelism);
-    let (solution, outcome) = solve_auto_ctx(&problem, &limits, ctx);
+    let (solution, outcome) = solve_auto_warm(&problem, &limits, warm.as_ref(), ctx);
     let terms: Vec<Pseudocube> =
         solution.columns.iter().map(|&c| candidates[c].clone()).collect();
     (SppForm::new(f.num_vars(), terms), solution.optimal, outcome)

@@ -12,7 +12,7 @@ use spp_obs::{Event, Outcome, Phase, RunCtx};
 use spp_par::{par_map_indices, Parallelism};
 
 use crate::generate::generate_eppp_session;
-use crate::{EpppSet, Pseudocube, SppError, SppForm, SppOptions};
+use crate::{EpppSet, Pseudocube, SppCache, SppError, SppForm, SppOptions};
 
 /// The outcome of [`crate::MultiMinimizer::run`].
 #[derive(Clone, Debug)]
@@ -87,12 +87,31 @@ pub(crate) fn multi_session(
     options: &SppOptions,
     ctx: &RunCtx,
 ) -> Result<MultiSppResult, SppError> {
+    multi_session_cached(outputs, options, ctx, None)
+}
+
+/// [`multi_session`] with an optional result cache: a verified
+/// whole-circuit hit returns immediately, and each output's EPPP
+/// generation consults the per-output entries. (Covering warm starts are
+/// single-output only: the shared matrix's columns depend on the whole
+/// output set, so a single-output cover is not a usable incumbent here.)
+pub(crate) fn multi_session_cached(
+    outputs: &[BoolFn],
+    options: &SppOptions,
+    ctx: &RunCtx,
+    cache: Option<&SppCache>,
+) -> Result<MultiSppResult, SppError> {
     let n = match outputs.first() {
         Some(f) => f.num_vars(),
         None => return Err(SppError::NoOutputs),
     };
     if let Some(other) = outputs.iter().find(|f| f.num_vars() != n) {
         return Err(SppError::MixedVariableCounts { expected: n, found: other.num_vars() });
+    }
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.get_multi(outputs, options, ctx) {
+            return Ok(hit);
+        }
     }
 
     let gen_start = std::time::Instant::now();
@@ -109,6 +128,22 @@ pub(crate) fn multi_session(
         .clone()
         .with_parallelism(Parallelism::fixed((threads / outer).max(1)));
     let per_output: Vec<EpppSet> = par_map_indices(outer, outputs.len(), |j| {
+        if let Some(cache) = cache {
+            if let Some(set) =
+                cache.get_eppp(&outputs[j], options.grouping, j as u32, ctx)
+            {
+                return set;
+            }
+            let set = generate_eppp_session(
+                &outputs[j],
+                options.grouping,
+                &inner_limits,
+                &|_| true,
+                ctx,
+            );
+            cache.put_eppp(&outputs[j], options.grouping, j as u32, &set, ctx);
+            return set;
+        }
         generate_eppp_session(&outputs[j], options.grouping, &inner_limits, &|_| true, ctx)
     });
     let mut truncated = false;
@@ -220,13 +255,19 @@ pub(crate) fn multi_session(
         forms.push(SppForm::new(n, kept));
     }
 
-    Ok(MultiSppResult {
+    let result = MultiSppResult {
         forms,
         shared_terms,
         shared_literal_count,
         optimal: solution.optimal && !truncated && outcome.is_completed(),
         outcome,
-    })
+    };
+    if let Some(cache) = cache {
+        // put_multi re-verifies every form against its output and only
+        // stores proved-optimal runs.
+        cache.put_multi(outputs, options, &result, ctx);
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -17,12 +17,12 @@ use spp_par::Parallelism;
 
 use crate::generate::generate_eppp_session;
 use crate::heuristic::{heuristic_from_cover_session, heuristic_session};
-use crate::minimize::exact_session;
-use crate::multi::multi_session;
+use crate::minimize::exact_session_cached;
+use crate::multi::multi_session_cached;
 use crate::restricted::restricted_session;
 use crate::{
-    EpppSet, GenLimits, GenStats, Grouping, MultiSppResult, Pseudocube, SppError, SppForm,
-    SppMinResult, SppOptions,
+    EpppSet, GenLimits, GenStats, Grouping, MultiSppResult, Pseudocube, SppCache, SppError,
+    SppForm, SppMinResult, SppOptions,
 };
 
 /// A configured single-output minimization session — the front door of the
@@ -56,13 +56,14 @@ pub struct Minimizer<'f> {
     f: &'f BoolFn,
     options: SppOptions,
     ctx: RunCtx,
+    cache: Option<SppCache>,
 }
 
 impl<'f> Minimizer<'f> {
     /// Starts a session on `f` with default options and no run control.
     #[must_use]
     pub fn new(f: &'f BoolFn) -> Self {
-        Minimizer { f, options: SppOptions::default(), ctx: RunCtx::default() }
+        Minimizer { f, options: SppOptions::default(), ctx: RunCtx::default(), cache: None }
     }
 
     /// Replaces the whole option block at once.
@@ -149,6 +150,16 @@ impl<'f> Minimizer<'f> {
         self
     }
 
+    /// Attaches a cross-call result cache (see [`SppCache`]): a verified
+    /// result hit skips both phases, a cached EPPP set skips generation,
+    /// and sibling results warm-start the covering search. Clones of one
+    /// cache share a store, so many sessions can feed each other.
+    #[must_use]
+    pub fn cache(mut self, cache: SppCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The configured run-control context (for composing with the lower
     /// level `spp_cover` API).
     #[must_use]
@@ -161,6 +172,18 @@ impl<'f> Minimizer<'f> {
     /// algorithmic contract.
     #[must_use]
     pub fn generate(&self) -> EpppSet {
+        // Only the unrestricted set is cacheable: a `generate_where`
+        // predicate is an arbitrary closure with no stable cache key.
+        if let Some(cache) = &self.cache {
+            if let Some(set) =
+                cache.get_eppp(self.f, self.options.grouping, 0, &self.ctx)
+            {
+                return set;
+            }
+            let set = self.generate_where(&|_| true);
+            cache.put_eppp(self.f, self.options.grouping, 0, &set, &self.ctx);
+            return set;
+        }
         self.generate_where(&|_| true)
     }
 
@@ -185,7 +208,7 @@ impl<'f> Minimizer<'f> {
     /// generation + minimum-literal covering).
     #[must_use]
     pub fn run_exact(&self) -> SppMinResult {
-        exact_session(self.f, &self.options, &self.ctx)
+        exact_session_cached(self.f, &self.options, &self.ctx, self.cache.as_ref())
     }
 
     /// Runs the incremental heuristic — the paper's **Algorithm 3**
@@ -251,7 +274,12 @@ impl<'f> Minimizer<'f> {
             self.ctx.governor().reset();
             self.ctx.emit(Event::RungStarted { rung });
             let result = match rung {
-                Rung::Exact => Some(exact_session(self.f, &self.options, &self.ctx)),
+                Rung::Exact => Some(exact_session_cached(
+                    self.f,
+                    &self.options,
+                    &self.ctx,
+                    self.cache.as_ref(),
+                )),
                 Rung::RestrictedExact => {
                     restricted_session(self.f, 2, &self.options, &self.ctx).ok()
                 }
@@ -323,6 +351,7 @@ pub struct MultiMinimizer<'f> {
     outputs: &'f [BoolFn],
     options: SppOptions,
     ctx: RunCtx,
+    cache: Option<SppCache>,
 }
 
 impl<'f> MultiMinimizer<'f> {
@@ -330,7 +359,12 @@ impl<'f> MultiMinimizer<'f> {
     /// control.
     #[must_use]
     pub fn new(outputs: &'f [BoolFn]) -> Self {
-        MultiMinimizer { outputs, options: SppOptions::default(), ctx: RunCtx::default() }
+        MultiMinimizer {
+            outputs,
+            options: SppOptions::default(),
+            ctx: RunCtx::default(),
+            cache: None,
+        }
     }
 
     /// Replaces the whole option block at once.
@@ -404,6 +438,15 @@ impl<'f> MultiMinimizer<'f> {
         self
     }
 
+    /// Attaches a cross-call result cache: a verified whole-circuit hit
+    /// skips everything, and per-output EPPP hits skip that output's
+    /// generation (see [`Minimizer::cache`]).
+    #[must_use]
+    pub fn cache(mut self, cache: SppCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Runs the shared-term multi-output minimization.
     ///
     /// # Errors
@@ -412,7 +455,7 @@ impl<'f> MultiMinimizer<'f> {
     /// [`SppError::MixedVariableCounts`] when outputs disagree on the
     /// variable count.
     pub fn run(&self) -> Result<MultiSppResult, SppError> {
-        multi_session(self.outputs, &self.options, &self.ctx)
+        multi_session_cached(self.outputs, &self.options, &self.ctx, self.cache.as_ref())
     }
 }
 

@@ -285,6 +285,43 @@ pub enum Event {
         /// Best-effort panic payload text.
         message: String,
     },
+    /// A result-cache lookup returned a stored entry; the corresponding
+    /// computation was skipped entirely.
+    CacheHit {
+        /// Entry kind: `result`, `eppp` or `multi`.
+        kind: &'static str,
+        /// Whether the entry came from the on-disk store (`false` = it was
+        /// already resident in memory).
+        disk: bool,
+    },
+    /// A result-cache lookup found nothing usable; the computation runs.
+    CacheMiss {
+        /// Entry kind: `result`, `eppp` or `multi`.
+        kind: &'static str,
+    },
+    /// The cache evicted least-recently-used entries to stay within its
+    /// byte budget.
+    CacheEvicted {
+        /// Entries evicted by this insertion.
+        entries: usize,
+        /// Bytes released back to the cache's governor.
+        bytes: u64,
+    },
+    /// The covering engine was warm-started from a cached cover instead of
+    /// searching from the greedy seed alone.
+    CacheWarmStart {
+        /// Columns in the seed cover.
+        columns: usize,
+    },
+    /// An on-disk cache entry was rejected (corrupt, truncated or
+    /// schema-mismatched) and skipped; the lookup proceeds as a miss.
+    CacheCorruptEntry {
+        /// The offending file.
+        path: String,
+        /// Why it was rejected (`magic`, `truncated`, `checksum`,
+        /// `schema`, `version`, `key`, `decode`).
+        reason: String,
+    },
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -360,6 +397,23 @@ impl Event {
                 json_escape(site),
                 json_escape(message)
             ),
+            Event::CacheHit { kind, disk } => {
+                format!("{{\"event\":\"cache_hit\",\"kind\":\"{kind}\",\"disk\":{disk}}}")
+            }
+            Event::CacheMiss { kind } => {
+                format!("{{\"event\":\"cache_miss\",\"kind\":\"{kind}\"}}")
+            }
+            Event::CacheEvicted { entries, bytes } => format!(
+                "{{\"event\":\"cache_evicted\",\"entries\":{entries},\"bytes\":{bytes}}}"
+            ),
+            Event::CacheWarmStart { columns } => {
+                format!("{{\"event\":\"cache_warm_start\",\"columns\":{columns}}}")
+            }
+            Event::CacheCorruptEntry { path, reason } => format!(
+                "{{\"event\":\"cache_corrupt_entry\",\"path\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(path),
+                json_escape(reason)
+            ),
         }
     }
 }
@@ -410,6 +464,19 @@ impl fmt::Display for Event {
             ),
             Event::WorkerPanicked { site, message } => {
                 write!(f, "fault: caught worker panic at {site}: {message}")
+            }
+            Event::CacheHit { kind, disk } => {
+                write!(f, "cache: {kind} hit{}", if *disk { " (disk)" } else { "" })
+            }
+            Event::CacheMiss { kind } => write!(f, "cache: {kind} miss"),
+            Event::CacheEvicted { entries, bytes } => {
+                write!(f, "cache: evicted {entries} entries ({bytes} bytes)")
+            }
+            Event::CacheWarmStart { columns } => {
+                write!(f, "cache: covering warm-started from {columns} cached columns")
+            }
+            Event::CacheCorruptEntry { path, reason } => {
+                write!(f, "cache: rejected {path} ({reason})")
             }
         }
     }
@@ -573,6 +640,15 @@ impl ResourceGovernor {
     #[must_use]
     pub fn hard_exceeded(&self) -> bool {
         self.0.hard.is_some_and(|b| self.bytes() >= b)
+    }
+
+    /// Subtracts `bytes` from the running total, saturating at zero — the
+    /// inverse of [`charge`](Self::charge), for owners that release
+    /// accounted memory again (e.g. cache eviction).
+    pub fn debit(&self, bytes: u64) {
+        let _ = self.0.bytes.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some(cur.saturating_sub(bytes))
+        });
     }
 
     /// Resets the running total to zero. The degradation ladder calls this
@@ -1122,6 +1198,42 @@ mod tests {
              \"message\":\"bad \\\"quote\\\"\\nnewline \\\\ backslash\"}"
         );
         assert!(e.to_string().contains("cover.subtree"));
+    }
+
+    #[test]
+    fn cache_events_serialize() {
+        let e = Event::CacheHit { kind: "result", disk: true };
+        assert_eq!(e.to_json(), "{\"event\":\"cache_hit\",\"kind\":\"result\",\"disk\":true}");
+        assert!(e.to_string().contains("disk"));
+        let e = Event::CacheMiss { kind: "eppp" };
+        assert_eq!(e.to_json(), "{\"event\":\"cache_miss\",\"kind\":\"eppp\"}");
+        let e = Event::CacheEvicted { entries: 3, bytes: 4096 };
+        assert_eq!(e.to_json(), "{\"event\":\"cache_evicted\",\"entries\":3,\"bytes\":4096}");
+        let e = Event::CacheWarmStart { columns: 17 };
+        assert_eq!(e.to_json(), "{\"event\":\"cache_warm_start\",\"columns\":17}");
+        assert!(e.to_string().contains("17"));
+        let e = Event::CacheCorruptEntry {
+            path: "/tmp/a \"b\".sppc".to_owned(),
+            reason: "checksum".to_owned(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"cache_corrupt_entry\",\"path\":\"/tmp/a \\\"b\\\".sppc\",\
+             \"reason\":\"checksum\"}"
+        );
+        assert!(e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn governor_debit_reverses_charges_and_saturates() {
+        let g = ResourceGovernor::with_budgets(Some(100), None);
+        g.charge(150);
+        assert!(g.soft_exceeded());
+        g.debit(100);
+        assert_eq!(g.bytes(), 50);
+        assert!(!g.soft_exceeded());
+        g.debit(1000);
+        assert_eq!(g.bytes(), 0);
     }
 
     #[test]

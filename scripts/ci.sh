@@ -4,10 +4,12 @@
 #   scripts/ci.sh
 #
 # Runs the offline-friendly default build (no criterion), the full test
-# suite, the fault-injection suite under --features failpoints (with
-# explicit poison-recovery gates), clippy and rustdoc with warnings
-# denied, a compile check of the feature-gated Criterion bench targets,
-# and CLI smokes of the deadline- and memory-degradation paths.
+# suite plus doctests, the fault-injection suite under --features
+# failpoints (with explicit poison-recovery gates), clippy and rustdoc
+# with warnings denied, a compile check of the feature-gated Criterion
+# bench targets, CLI smokes of the deadline- and memory-degradation
+# paths, a --cache-dir round-trip smoke, and jq gates on the
+# spp-bench/4 baseline including its cache-stats fields.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,6 +19,9 @@ cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test --workspace -q
+
+echo "==> cargo test --doc (documentation examples must compile AND run)"
+cargo test --workspace --doc -q
 
 echo "==> cargo test --features failpoints (fault-injection suite)"
 cargo test --features failpoints -q --test failpoints
@@ -49,9 +54,28 @@ echo "==> CLI memory smoke (--mem-budget-mb 1 must land on a lower rung)"
 ./target/release/spp bench adr4 --mem-budget-mb 1 --quiet --threads 2 \
   | grep -E "rung|SP fallback" >/dev/null
 
-echo "==> bench schema smoke (report --json must emit spp-bench/3)"
-./target/release/report --json --threads 1 -o /tmp/spp-ci-bench.json >/dev/null
-jq -e '.schema == "spp-bench/3"' /tmp/spp-ci-bench.json >/dev/null
-rm -f /tmp/spp-ci-bench.json
+echo "==> CLI cache smoke (second identical --cache-dir run must hit)"
+rm -rf /tmp/spp-ci-cache
+./target/release/spp bench life --cache-dir /tmp/spp-ci-cache --quiet >/dev/null
+./target/release/spp bench life --cache-dir /tmp/spp-ci-cache --quiet \
+  | grep -E "cache: [1-9][0-9]* hits" >/dev/null
+rm -rf /tmp/spp-ci-cache
+
+echo "==> bench schema smoke (report --json must emit spp-bench/4 + cache stats)"
+rm -rf /tmp/spp-ci-bench-cache
+./target/release/report --json --threads 1 --cache-dir /tmp/spp-ci-bench-cache \
+  -o /tmp/spp-ci-bench.json >/dev/null
+jq -e '.schema == "spp-bench/4"' /tmp/spp-ci-bench.json >/dev/null
+# Every cache-stats field of the schema must be present.
+jq -e '.cache | has("hits") and has("misses") and has("disk_hits") and
+       has("insertions") and has("evictions") and has("corrupt_skipped") and
+       has("warm_starts") and has("entries") and has("bytes")' \
+  /tmp/spp-ci-bench.json >/dev/null
+# The caching run must actually have cached something...
+jq -e '.cache.insertions >= 1 and .cache.hits >= 1' /tmp/spp-ci-bench.json >/dev/null
+# ...and every cache-warmed re-generation must be far cheaper than cold.
+jq -e '[.entries[] | select(.warm_wall_ms != null) | .warm_wall_ms / .wall_ms_min]
+       | length >= 1 and max < 0.1' /tmp/spp-ci-bench.json >/dev/null
+rm -rf /tmp/spp-ci-bench.json /tmp/spp-ci-bench-cache
 
 echo "ci: all gates passed"

@@ -21,6 +21,12 @@
 //!                      descends a degradation ladder — exact → 2-SPP →
 //!                      heuristic → SP — returning the first rung that fits,
 //!                      always verified
+//!   --cache-dir <dir>  persist verified results to <dir> and reuse them on
+//!                      later runs; a second identical invocation answers
+//!                      from the cache without re-minimizing
+//!   --cache-mb <m>     in-memory result cache of m MiB (implied 64 MiB when
+//!                      only --cache-dir is given); entries beyond the budget
+//!                      are evicted least-recently-used
 //!   --progress         print progress events (levels, covers) to stderr
 //!   --events-json <f>  append progress events to <f> as JSON lines
 //!   --verilog <mod>    print a structural Verilog module
@@ -34,8 +40,8 @@ use std::time::{Duration, Instant};
 
 use spp::boolfn::{BoolFn, Pla};
 use spp::core::{
-    Event, EventSink, JsonLinesSink, Minimizer, MultiMinimizer, Outcome, SppForm, SppOptions,
-    StderrSink,
+    CacheConfig, Event, EventSink, JsonLinesSink, Minimizer, MultiMinimizer, Outcome, SppCache,
+    SppForm, SppOptions, StderrSink,
 };
 use spp::netlist::Netlist;
 use spp::sp::minimize_sp;
@@ -48,6 +54,8 @@ struct Options {
     threads: Option<usize>,
     deadline_ms: Option<u64>,
     mem_budget_mb: Option<u64>,
+    cache_dir: Option<String>,
+    cache_mb: Option<u64>,
     progress: bool,
     events_json: Option<String>,
     verilog: Option<String>,
@@ -69,8 +77,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: spp <minimize file.pla | bench name | list> \
          [--sp] [--2spp] [--heuristic k] [--multi] [--threads n] \
-         [--deadline-ms t] [--mem-budget-mb m] [--progress] \
-         [--events-json file] [--verilog module] [--blif model] [--quiet]\n\
+         [--deadline-ms t] [--mem-budget-mb m] [--cache-dir dir] \
+         [--cache-mb m] [--progress] [--events-json file] \
+         [--verilog module] [--blif model] [--quiet]\n\
          worker threads default to the SPP_THREADS env var, else all cores; \
          --threads wins over SPP_THREADS"
     );
@@ -91,6 +100,8 @@ fn main() -> ExitCode {
         threads: None,
         deadline_ms: None,
         mem_budget_mb: None,
+        cache_dir: None,
+        cache_mb: None,
         progress: false,
         events_json: None,
         verilog: None,
@@ -119,6 +130,14 @@ fn main() -> ExitCode {
             },
             "--mem-budget-mb" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(m) if m > 0 => options.mem_budget_mb = Some(m),
+                _ => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => options.cache_dir = Some(d.clone()),
+                None => return usage(),
+            },
+            "--cache-mb" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(m) if m > 0 => options.cache_mb = Some(m),
                 _ => return usage(),
             },
             "--progress" => options.progress = true,
@@ -213,6 +232,23 @@ fn build_sink(options: &Options) -> Result<Option<Arc<dyn EventSink>>, String> {
     })
 }
 
+/// The result cache requested on the command line: present when either
+/// `--cache-dir` or `--cache-mb` is given. A bare `--cache-dir` keeps the
+/// default in-memory budget; a bare `--cache-mb` caches in memory only.
+fn build_cache(options: &Options) -> Option<SppCache> {
+    if options.cache_dir.is_none() && options.cache_mb.is_none() {
+        return None;
+    }
+    let mut config = CacheConfig::default();
+    if let Some(m) = options.cache_mb {
+        config = config.with_byte_budget(m.saturating_mul(1024 * 1024));
+    }
+    if let Some(dir) = &options.cache_dir {
+        config = config.with_dir(dir);
+    }
+    Some(SppCache::new(config))
+}
+
 /// The (soft, hard) byte budgets encoded by `--mem-budget-mb m`: a hard
 /// cap of `m` MiB and an advisory soft cap at half of it, so sessions
 /// degrade (truncate generation, skip exact covering refinement) before
@@ -249,12 +285,16 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
     // output's session.
     let deadline_at =
         options.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    // One cache for the whole invocation too, so identical outputs of a
+    // multi-output PLA answer each other within a single run.
+    let cache = build_cache(options);
     fn configure<'f>(
         f: &'f BoolFn,
         spp_options: &SppOptions,
         options: &Options,
         deadline_at: Option<Instant>,
         sink: &Option<Arc<dyn EventSink>>,
+        cache: &Option<SppCache>,
     ) -> Minimizer<'f> {
         let mut m = Minimizer::new(f).options(spp_options.clone());
         if let Some(n) = options.threads {
@@ -268,6 +308,9 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
         }
         if let Some(sink) = sink {
             m = m.on_event(sink.clone());
+        }
+        if let Some(cache) = cache {
+            m = m.cache(cache.clone());
         }
         m
     }
@@ -286,6 +329,9 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
         }
         if let Some(sink) = &sink {
             session = session.on_event(sink.clone());
+        }
+        if let Some(cache) = &cache {
+            session = session.cache(cache.clone());
         }
         let r = match session.run() {
             Ok(r) => r,
@@ -311,7 +357,7 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
         forms = r.forms;
     } else {
         for (f, label) in outputs.iter().zip(labels) {
-            let session = configure(f, &spp_options, options, deadline_at, &sink);
+            let session = configure(f, &spp_options, options, deadline_at, &sink, &cache);
             let (form, tag, optimal, outcome) = if options.sp {
                 // SP covering honours --threads too: parallelism rides
                 // inside the covering limits.
@@ -372,6 +418,10 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
             }
             forms.push(form);
         }
+    }
+
+    if let Some(cache) = &cache {
+        println!("cache: {}", cache.stats());
     }
 
     let net = Netlist::from_spp_forms(&forms);

@@ -22,6 +22,7 @@
 
 pub use spp_benchgen as benchgen;
 pub use spp_boolfn as boolfn;
+pub use spp_cache as cache;
 pub use spp_core as core;
 pub use spp_cover as cover;
 pub use spp_gf2 as gf2;
@@ -29,12 +30,12 @@ pub use spp_netlist as netlist;
 pub use spp_obs as obs;
 pub use spp_sp as sp;
 
-pub use spp_core::{Minimizer, MultiMinimizer, SppError};
+pub use spp_core::{CacheConfig, CacheStats, Minimizer, MultiMinimizer, SppCache, SppError};
 pub use spp_obs::{CancelToken, Event, EventSink, Outcome, RunCtx};
 
 /// The most commonly used types and functions of the workspace.
 pub mod prelude {
     pub use spp_boolfn::{BoolFn, Cube, Pla};
-    pub use spp_core::{Minimizer, MultiMinimizer, Outcome, SppError};
+    pub use spp_core::{Minimizer, MultiMinimizer, Outcome, SppCache, SppError};
     pub use spp_gf2::{EchelonBasis, Gf2Vec};
 }
