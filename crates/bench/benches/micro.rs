@@ -186,12 +186,70 @@ fn bench_bitset_kernels(c: &mut Criterion) {
     });
 }
 
+fn bench_kernel_backends(c: &mut Criterion) {
+    // The dispatched span kernels, scalar vs the auto-detected SIMD
+    // backend on the same inputs, so a baseline diff shows the actual
+    // vectorization win on this machine. 64 words = 4096 bits, the same
+    // span size the covering benches above use.
+    use spp_kernels::Backend;
+    let words = 64usize;
+    let mut x = 0xC0FF_EE00_DEAD_F00Du64;
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let a: Vec<u64> = (0..words).map(|_| next()).collect();
+    let b: Vec<u64> = (0..words).map(|_| next() & next()).collect();
+    let mask: Vec<u64> = (0..words).map(|_| next() | next()).collect();
+    let hashes: Vec<u64> = (0..4096).map(|_| next() % 64).collect();
+    let mut backends = vec![Backend::Scalar];
+    if Backend::detect() != Backend::Scalar {
+        backends.push(Backend::detect());
+    }
+    for backend in backends {
+        let tag = backend.name();
+        c.bench_function(&format!("kernel/{tag}/and_count"), |bch| {
+            bch.iter(|| black_box(backend.and_count(&a, &b)))
+        });
+        c.bench_function(&format!("kernel/{tag}/and_count_capped"), |bch| {
+            bch.iter(|| black_box(backend.and_count_capped(&a, &b, 2)))
+        });
+        c.bench_function(&format!("kernel/{tag}/subset_within"), |bch| {
+            bch.iter(|| black_box(backend.subset_within(&b, &a, &mask)))
+        });
+        c.bench_function(&format!("kernel/{tag}/lone_and_one"), |bch| {
+            bch.iter(|| black_box(backend.lone_and_one(&a, &b)))
+        });
+        c.bench_function(&format!("kernel/{tag}/count_ones"), |bch| {
+            bch.iter(|| black_box(backend.count_ones(&a)))
+        });
+        let mut dst = vec![0u64; words];
+        c.bench_function(&format!("kernel/{tag}/or_masked_into"), |bch| {
+            bch.iter(|| {
+                backend.or_masked_into(&mut dst, &a, &mask);
+                black_box(dst[0])
+            })
+        });
+        let mut out = Vec::with_capacity(128);
+        c.bench_function(&format!("kernel/{tag}/positions_eq"), |bch| {
+            bch.iter(|| {
+                out.clear();
+                backend.positions_eq(7, &hashes, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(30)
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_union, bench_cex, bench_grouping, bench_cover, bench_bitset_kernels
+    targets = bench_union, bench_cex, bench_grouping, bench_cover, bench_bitset_kernels,
+        bench_kernel_backends
 }
 criterion_main!(benches);

@@ -29,7 +29,10 @@
 //! therefore uncacheable) through an [`spp_core::SppCache`] persisted at
 //! `DIR`, and the baseline's top-level `cache` object carries the final
 //! [`spp_core::CacheStats`] — zeros when caching is off, so the schema
-//! (`spp-bench/4`) is stable either way.
+//! (`spp-bench/5`) is stable either way. The header's `kernel_backend`
+//! field records which [`spp_kernels`] backend (scalar/avx2/neon) the run
+//! dispatched to; all counters in the report are backend-invariant, only
+//! wall times vary.
 
 use std::io::Write as _;
 use std::process::Command;
@@ -244,9 +247,11 @@ fn emit_json(
     let body: Vec<String> = entries.iter().map(BenchEntry::to_json).collect();
     let cache_stats = cache.as_ref().map_or_else(CacheStats::default, |c| c.stats());
     let json = format!(
-        "{{\n  \"schema\": \"spp-bench/4\",\n  \"profile\": \"{}\",\n  \
+        "{{\n  \"schema\": \"spp-bench/5\",\n  \"profile\": \"{}\",\n  \
+         \"kernel_backend\": \"{}\",\n  \
          \"resolved_threads\": {},\n  \"cache\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
         if full { "full" } else { "fast" },
+        spp_kernels::active().name(),
         resolved_threads,
         cache_stats.to_json(),
         body.join(",\n")

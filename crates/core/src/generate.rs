@@ -659,15 +659,26 @@ fn sweep_level_sequential(
         Grouping::Quadratic => {
             // The [5] baseline: every pair of pseudocubes is compared for
             // structure equality — |X|(|X|−1)/2 comparisons — and unifiable
-            // pairs are united.
+            // pairs are united. The inner scan is batched through the
+            // vectorized `positions_eq` kernel over the cached structure
+            // hashes; candidates it surfaces are confirmed with the full
+            // structure comparison (hash collisions unite nothing). Both
+            // the unite order and the per-row comparison accounting are
+            // exactly the scalar loop's.
             num_groups = 0;
+            let hashes: Vec<u64> =
+                level.iter().map(|p| p.structure().structure_hash()).collect();
+            let mut matches: Vec<u32> = Vec::new();
             'pairs: for i in 0..level.len() {
                 if over(next.len(), &mut ops) {
                     truncated = true;
                     break 'pairs;
                 }
-                for j in (i + 1)..level.len() {
-                    comparisons += 1;
+                comparisons += (level.len() - 1 - i) as u64;
+                matches.clear();
+                spp_kernels::positions_eq(hashes[i], &hashes[i + 1..], &mut matches);
+                for &off in &matches {
+                    let j = i + 1 + off as usize;
                     if level[i].structure() == level[j].structure() {
                         unite(i, j, &mut next, &mut discarded);
                     }

@@ -104,7 +104,9 @@ pub fn verify_cover_par(
         return Err(err);
     }
     let on = f.on_set();
-    let first_uncovered = spp_par::par_ranges(threads, on.len(), |range| {
+    // Shard boundaries stay on 64-point blocks so each worker scans whole
+    // words of the packed ON-set — shards never straddle a word.
+    let first_uncovered = spp_par::par_ranges_aligned(threads, on.len(), 64, |range| {
         range.into_iter().find(|&m| !terms.iter().any(|t| t.contains(&on[m])))
     })
     .into_iter()

@@ -1,6 +1,13 @@
 //! A growable, heap-allocated bitset for covering matrices.
+//!
+//! The word-level kernels (popcounts, subset tests, masked unions) are
+//! dispatched through [`spp_kernels`], which selects an AVX2/NEON/scalar
+//! implementation at startup. All backends are bit-identical, so every
+//! method here behaves the same regardless of the selected backend.
 
 use std::fmt;
+
+pub use spp_kernels::LoneOne;
 
 /// A fixed-length, heap-allocated bitset.
 ///
@@ -68,12 +75,14 @@ impl BitSet {
 
     /// The number of bits.
     #[must_use]
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// Whether the bitset has zero length.
     #[must_use]
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -84,6 +93,7 @@ impl BitSet {
     ///
     /// Panics if `i >= self.len()`.
     #[must_use]
+    #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
         (self.words[i / 64] >> (i % 64)) & 1 == 1
@@ -94,6 +104,7 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if `i >= self.len()`.
+    #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
         assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
         if value {
@@ -105,14 +116,16 @@ impl BitSet {
 
     /// The number of set bits.
     #[must_use]
+    #[inline]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        spp_kernels::count_ones(&self.words)
     }
 
     /// Whether no bit is set.
     #[must_use]
+    #[inline]
     pub fn none(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        spp_kernels::none(&self.words)
     }
 
     /// In-place union: `self |= other`.
@@ -120,11 +133,10 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if the lengths differ.
+    #[inline]
     pub fn union_with(&mut self, other: &BitSet) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        spp_kernels::or_into(&mut self.words, &other.words);
     }
 
     /// In-place intersection: `self &= other`.
@@ -132,11 +144,10 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if the lengths differ.
+    #[inline]
     pub fn intersect_with(&mut self, other: &BitSet) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        spp_kernels::and_into(&mut self.words, &other.words);
     }
 
     /// In-place difference: `self &= !other`.
@@ -144,11 +155,10 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if the lengths differ.
+    #[inline]
     pub fn difference_with(&mut self, other: &BitSet) {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        spp_kernels::andnot_into(&mut self.words, &other.words);
     }
 
     /// The number of bits set in both `self` and `other`.
@@ -156,6 +166,7 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if the lengths differ.
+    #[deprecated(since = "0.2.0", note = "duplicate of `and_count_ones`; call that instead")]
     #[must_use]
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         self.and_count_ones(other)
@@ -168,13 +179,25 @@ impl BitSet {
     ///
     /// Panics if the lengths differ.
     #[must_use]
+    #[inline]
     pub fn and_count_ones(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        spp_kernels::and_count(&self.words, &other.words)
+    }
+
+    /// Popcount of `self & other` together with the OR-fold of its words,
+    /// in one sweep. The fold is subset-monotone (if `a & m ⊆ b & m`
+    /// word-wise, the folds are ⊆ too), so it serves as a 64-bit signature
+    /// that cheaply rejects most subset candidates before a span test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    #[inline]
+    pub fn and_count_ones_fold(&self, other: &BitSet) -> (usize, u64) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        spp_kernels::and_count_fold(&self.words, &other.words)
     }
 
     /// Popcount of `self & other`, stopping early once the running count
@@ -186,16 +209,10 @@ impl BitSet {
     ///
     /// Panics if the lengths differ.
     #[must_use]
+    #[inline]
     pub fn and_count_ones_capped(&self, other: &BitSet, cap: usize) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        let mut count = 0usize;
-        for (a, b) in self.words.iter().zip(&other.words) {
-            count += (a & b).count_ones() as usize;
-            if count > cap {
-                return cap + 1;
-            }
-        }
-        count
+        spp_kernels::and_count_capped(&self.words, &other.words, cap)
     }
 
     /// The index of the first bit set in both `self` and `other`, or
@@ -205,15 +222,24 @@ impl BitSet {
     ///
     /// Panics if the lengths differ.
     #[must_use]
+    #[inline]
     pub fn first_one_in(&self, other: &BitSet) -> Option<usize> {
         assert_eq!(self.len, other.len, "length mismatch");
-        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
-            let w = a & b;
-            if w != 0 {
-                return Some(wi * 64 + w.trailing_zeros() as usize);
-            }
-        }
-        None
+        spp_kernels::first_and_one(&self.words, &other.words)
+    }
+
+    /// Whether `self & other` has zero, exactly one (and which), or many
+    /// set bits — the fused kernel behind the essential-row scan, which
+    /// needs the count-to-two and the lone bit's position in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    #[inline]
+    pub fn lone_one_in(&self, other: &BitSet) -> LoneOne {
+        assert_eq!(self.len, other.len, "length mismatch");
+        spp_kernels::lone_and_one(&self.words, &other.words)
     }
 
     /// Whether `self & mask ⊆ other & mask`: the dominance-pass subset
@@ -224,14 +250,11 @@ impl BitSet {
     ///
     /// Panics if the lengths differ.
     #[must_use]
+    #[inline]
     pub fn is_subset_within(&self, other: &BitSet, mask: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "length mismatch");
         assert_eq!(self.len, mask.len, "length mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .zip(&mask.words)
-            .all(|((a, b), m)| a & m & !b == 0)
+        spp_kernels::subset_within(&self.words, &other.words, &mask.words)
     }
 
     /// In-place masked union: `self |= other & mask`.
@@ -239,12 +262,11 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if the lengths differ.
+    #[inline]
     pub fn union_with_masked(&mut self, other: &BitSet, mask: &BitSet) {
         assert_eq!(self.len, other.len, "length mismatch");
         assert_eq!(self.len, mask.len, "length mismatch");
-        for ((a, b), m) in self.words.iter_mut().zip(&other.words).zip(&mask.words) {
-            *a |= b & m;
-        }
+        spp_kernels::or_masked_into(&mut self.words, &other.words, &mask.words);
     }
 
     /// Clears every bit in place, keeping the allocation — the reset of a
@@ -272,9 +294,10 @@ impl BitSet {
     ///
     /// Panics if the lengths differ.
     #[must_use]
+    #[inline]
     pub fn intersects(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        spp_kernels::intersects(&self.words, &other.words)
     }
 
     /// Whether every set bit of `self` is also set in `other`.
@@ -283,9 +306,10 @@ impl BitSet {
     ///
     /// Panics if the lengths differ.
     #[must_use]
+    #[inline]
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        spp_kernels::subset(&self.words, &other.words)
     }
 
     /// Iterates over set-bit indices in increasing order.
@@ -358,6 +382,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn set_ops() {
         let a = BitSet::from_indices(100, &[1, 50, 99]);
         let b = BitSet::from_indices(100, &[50, 99, 3]);
@@ -393,6 +418,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn word_level_kernels() {
         let a = BitSet::from_indices(200, &[1, 70, 130, 199]);
         let b = BitSet::from_indices(200, &[70, 130, 131]);
@@ -403,6 +429,15 @@ mod tests {
         assert_eq!(a.and_count_ones_capped(&b, 5), 2);
         assert_eq!(a.first_one_in(&b), Some(70));
         assert_eq!(a.first_one_in(&BitSet::new(200)), None);
+    }
+
+    #[test]
+    fn lone_one_in_distinguishes_none_one_many() {
+        let row = BitSet::from_indices(200, &[1, 70, 130, 199]);
+        assert_eq!(row.lone_one_in(&BitSet::new(200)), LoneOne::None);
+        assert_eq!(row.lone_one_in(&BitSet::from_indices(200, &[70, 71])), LoneOne::One(70));
+        assert_eq!(row.lone_one_in(&BitSet::from_indices(200, &[70, 130])), LoneOne::Many);
+        assert_eq!(row.lone_one_in(&BitSet::from_indices(200, &[1, 199])), LoneOne::Many);
     }
 
     #[test]

@@ -224,6 +224,9 @@ impl<'a> Worker<'a> {
             self.try_record();
             return;
         }
+        // A trail that shrank back to an old mark must not revalidate a
+        // previous node's row counts.
+        self.scratch.fresh_mark = usize::MAX;
         if self.state.rows_left() <= ROW_DOMINANCE_LIMIT {
             remove_dominated_rows(self.shared.index, &mut self.state, &mut self.scratch);
         }
@@ -328,6 +331,7 @@ fn prepare_root(root: &mut Worker) -> Option<Vec<(u64, u32)>> {
         root.try_record();
         return None;
     }
+    root.scratch.fresh_mark = usize::MAX;
     if root.state.rows_left() <= ROOT_ROW_DOMINANCE_LIMIT {
         remove_dominated_rows(root.shared.index, &mut root.state, &mut root.scratch);
     }

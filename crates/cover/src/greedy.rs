@@ -39,7 +39,7 @@ pub fn solve_greedy(problem: &CoverProblem) -> CoverSolution {
     while !uncovered.none() {
         let mut best: Option<(usize, usize, u64)> = None; // (col, new, cost)
         for (c, col) in problem.columns().iter().enumerate() {
-            let new = col.rows.intersection_count(&uncovered);
+            let new = col.rows.and_count_ones(&uncovered);
             if new == 0 {
                 continue;
             }

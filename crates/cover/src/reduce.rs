@@ -8,6 +8,7 @@
 //! an undo [`Trail`], so entering a node costs a few pushes and leaving it
 //! is a replay — no allocation on the search path at all.
 
+use crate::bitset::LoneOne;
 use crate::problem::CoverProblem;
 use crate::BitSet;
 
@@ -174,12 +175,29 @@ impl RowIndex {
 /// Reusable per-worker scratch buffers for the reduction passes: cleared
 /// and refilled on every call, allocated once per search.
 pub(crate) struct Scratch {
-    /// Active-column count per row (dominance + lower bound).
-    pub(crate) row_count: Vec<u32>,
     /// Active-row coverage count per column (column dominance).
     pub(crate) col_count: Vec<u32>,
     /// `(count, row)` pairs for the lower bound's constrained-first order.
     pub(crate) lb_rows: Vec<(u32, u32)>,
+    /// Entry-time active rows for the row-dominance pass, `(count, index)`
+    /// packed into a sortable `u64`, so the pair sweep is quadratic in the
+    /// *active* count, not the matrix dimension — and so the lower bound
+    /// can reuse the sorted order while the trail mark still matches.
+    pub(crate) row_keys: Vec<u64>,
+    /// Entry-time active column indices for the column-dominance pass.
+    pub(crate) col_list: Vec<u32>,
+    /// Per-row OR-fold signature of `cols(r) ∩ active` — subset-monotone,
+    /// so `sig[s] ⊄ sig[r]` proves `s` cannot dominate `r` without a span
+    /// test. Filled by the row-dominance count pass.
+    pub(crate) row_sig: Vec<u64>,
+    /// Per-column OR-fold signature of `rows(c) ∩ active`, ditto.
+    pub(crate) col_sig: Vec<u64>,
+    /// Trail position right after the last row-dominance pass. While the
+    /// trail is still at this mark, nothing has mutated the state since,
+    /// so the sorted `(count, row)` keys in `row_keys` are exactly the
+    /// constrained-first order the lower bound would recompute. Reset to
+    /// `usize::MAX` (never a valid mark match) at node entry.
+    pub(crate) fresh_mark: usize,
     /// Columns consumed by the disjoint-row lower bound.
     pub(crate) used_cols: BitSet,
     /// Per-depth branching-choice buffers `(sort key, column)`, reused
@@ -190,9 +208,13 @@ pub(crate) struct Scratch {
 impl Scratch {
     pub(crate) fn new(problem: &CoverProblem) -> Scratch {
         Scratch {
-            row_count: vec![0; problem.num_rows()],
             col_count: vec![0; problem.num_columns()],
             lb_rows: Vec::with_capacity(problem.num_rows()),
+            row_keys: Vec::with_capacity(problem.num_rows()),
+            col_list: Vec::with_capacity(problem.num_columns()),
+            row_sig: vec![0; problem.num_rows()],
+            col_sig: vec![0; problem.num_columns()],
+            fresh_mark: usize::MAX,
             used_cols: BitSet::new(problem.num_columns()),
             choices: Vec::new(),
         }
@@ -227,16 +249,15 @@ pub(crate) fn select_essentials(
             if !state.active_rows.get(r) {
                 continue; // already covered (possibly by an essential this sweep)
             }
-            match index.active_count_capped(&state.active_cols, r, 1) {
-                0 => return false,
-                1 => {
-                    let c = index.row_col_sets[r]
-                        .first_one_in(&state.active_cols)
-                        .expect("count said one column remains");
+            // One fused span pass instead of a capped count followed by a
+            // re-scan for the lone column's position.
+            match index.row_col_sets[r].lone_one_in(&state.active_cols) {
+                LoneOne::None => return false,
+                LoneOne::One(c) => {
                     state.select(problem, c);
                     changed = true;
                 }
-                _ => {}
+                LoneOne::Many => {}
             }
         }
         if !changed {
@@ -251,35 +272,43 @@ pub(crate) fn select_essentials(
 /// set. Pure word-level subset tests; ties broken by row index so two
 /// identical rows don't delete each other.
 pub(crate) fn remove_dominated_rows(index: &RowIndex, state: &mut TrailState, scratch: &mut Scratch) {
-    let n = index.row_cols.len();
-    for r in 0..n {
-        scratch.row_count[r] = if state.active_rows.get(r) {
-            index.row_col_sets[r].and_count_ones(&state.active_cols) as u32
-        } else {
-            0
-        };
+    // The gate `cs <= cr && (cs < cr || s < r)` is exactly the lexicographic
+    // order `(cs, s) < (cr, r)`, and domination is transitive along it
+    // (subsets chain, keys strictly decrease), so whenever `r` has *any*
+    // dominator among the rows active at entry, it also has one that is
+    // itself undominated — the naive scan's staleness re-checks can never
+    // change the removal set. That makes the outcome order-independent:
+    // sort the entry-time actives by `(count, index)` and test each row
+    // only against its strict predecessors, with the count gate satisfied
+    // by construction. Half the pairs, no per-pair gate, same removals
+    // (and the trail is a set of `RowOff`s, so entry order is immaterial).
+    scratch.row_keys.clear();
+    for r in state.active_rows.iter_ones() {
+        let (count, sig) = index.row_col_sets[r].and_count_ones_fold(&state.active_cols);
+        scratch.row_sig[r] = sig;
+        // Pack (count, index) into one sortable key; counts fit u32.
+        scratch.row_keys.push((count as u64) << 32 | r as u64);
     }
-    for r in 0..n {
-        if !state.active_rows.get(r) {
-            continue;
-        }
-        for s in 0..n {
-            if s == r || !state.active_rows.get(s) {
-                continue;
-            }
-            let (cr, cs) = (scratch.row_count[r], scratch.row_count[s]);
-            if cs <= cr
-                && (cs < cr || s < r)
-                && index.row_col_sets[s].is_subset_within(
-                    &index.row_col_sets[r],
-                    &state.active_cols,
-                )
+    scratch.row_keys.sort_unstable();
+    for ri in 1..scratch.row_keys.len() {
+        let r = (scratch.row_keys[ri] & 0xffff_ffff) as usize;
+        let sig_r = scratch.row_sig[r];
+        for &key in &scratch.row_keys[..ri] {
+            let s = (key & 0xffff_ffff) as usize;
+            // The signature test is necessary for the subset, so skipping
+            // on it never changes which rows get removed.
+            if scratch.row_sig[s] & !sig_r == 0
+                && index.row_col_sets[s]
+                    .is_subset_within(&index.row_col_sets[r], &state.active_cols)
             {
                 state.deactivate_row(r);
                 break;
             }
         }
     }
+    // The sorted keys double as the lower bound's constrained-first order
+    // for as long as the trail stays at this mark.
+    scratch.fresh_mark = state.mark();
 }
 
 /// Removes dominated columns: if `rows(b) ∩ active ⊆ rows(a) ∩ active` and
@@ -290,27 +319,33 @@ pub(crate) fn remove_dominated_cols(
     state: &mut TrailState,
     scratch: &mut Scratch,
 ) {
-    let n = problem.num_columns();
-    for c in 0..n {
-        scratch.col_count[c] = if state.active_cols.get(c) {
-            problem.rows_of(c).and_count_ones(&state.active_rows) as u32
-        } else {
-            0
-        };
+    // Sweep only the columns active at entry (ascending, the order the
+    // full scan used to visit them). Columns only ever *leave* the active
+    // set inside this pass, so the snapshot plus the staleness check on
+    // the inner index is exactly the full scan, minus the dead indices.
+    scratch.col_list.clear();
+    for c in state.active_cols.iter_ones() {
+        scratch.col_list.push(c as u32);
+        let (count, sig) = problem.rows_of(c).and_count_ones_fold(&state.active_rows);
+        scratch.col_count[c] = count as u32;
+        scratch.col_sig[c] = sig;
     }
-    for b in 0..n {
-        if !state.active_cols.get(b) {
-            continue;
-        }
+    for bi in 0..scratch.col_list.len() {
+        let b = scratch.col_list[bi] as usize;
         if scratch.col_count[b] == 0 {
             state.deactivate_col(b);
             continue;
         }
-        for a in 0..n {
+        for &a in scratch.col_list.iter() {
+            let a = a as usize;
+            // `a` may have been deactivated as an earlier outer column.
             if a == b || !state.active_cols.get(a) {
                 continue;
             }
             let dominates = problem.cost(a) <= problem.cost(b)
+                // Signature rejection first: necessary for the subset, so
+                // it filters without changing the outcome.
+                && scratch.col_sig[b] & !scratch.col_sig[a] == 0
                 && problem.rows_of(b).is_subset_within(problem.rows_of(a), &state.active_rows)
                 // Strictness or index tie-break so identical columns don't
                 // eliminate each other.
@@ -337,13 +372,26 @@ pub(crate) fn lower_bound(
     scratch: &mut Scratch,
 ) -> u64 {
     scratch.lb_rows.clear();
-    for r in state.active_rows.iter_ones() {
-        let count = index.row_col_sets[r].and_count_ones(&state.active_cols) as u32;
-        scratch.lb_rows.push((count, r as u32));
+    if state.mark() == scratch.fresh_mark {
+        // Nothing has touched the state since the row-dominance pass, so
+        // its sorted `(count, index)` keys are exactly the order below —
+        // minus the rows that pass itself retired. Skip both the count
+        // recomputation and the sort.
+        for &key in scratch.row_keys.iter() {
+            let r = (key & 0xffff_ffff) as u32;
+            if state.active_rows.get(r as usize) {
+                scratch.lb_rows.push(((key >> 32) as u32, r));
+            }
+        }
+    } else {
+        for r in state.active_rows.iter_ones() {
+            let count = index.row_col_sets[r].and_count_ones(&state.active_cols) as u32;
+            scratch.lb_rows.push((count, r as u32));
+        }
+        // Most constrained rows first; the (count, row) key is a total
+        // order, so the greedy packing is deterministic.
+        scratch.lb_rows.sort_unstable();
     }
-    // Most constrained rows first; the (count, row) key is a total order,
-    // so the greedy packing is deterministic.
-    scratch.lb_rows.sort_unstable();
     scratch.used_cols.clear();
     let mut bound = 0u64;
     for &(_, r) in scratch.lb_rows.iter() {

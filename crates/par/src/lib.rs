@@ -288,6 +288,41 @@ fn chunk_bounds(count: usize, workers: usize, w: usize) -> Range<usize> {
     start..end
 }
 
+/// Like [`par_ranges`], but every interior shard boundary is rounded down
+/// to a multiple of `align`, so each worker except the last receives a
+/// whole number of `align`-sized blocks. Shards over word-packed data
+/// (e.g. 64 bits per `u64`, or a SIMD block of words) then never split a
+/// block across workers. The union of the ranges is still exactly
+/// `0..count`, in order; with pathological `workers × align > count` some
+/// trailing ranges may be empty.
+///
+/// # Panics
+///
+/// Panics if `align` is zero.
+pub fn par_ranges_aligned<R, F>(threads: usize, count: usize, align: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    assert!(align > 0, "alignment must be positive");
+    let workers = threads.max(1).min(count.max(1));
+    if workers == 1 {
+        return vec![f(0..count)];
+    }
+    par_workers(workers, |w| f(chunk_bounds_aligned(count, workers, align, w)))
+}
+
+/// The `w`-th chunk of [`par_ranges_aligned`]: [`chunk_bounds`] with both
+/// endpoints rounded down to `align` multiples (the final endpoint stays
+/// `count`, so the partition is exact).
+fn chunk_bounds_aligned(count: usize, workers: usize, align: usize, w: usize) -> Range<usize> {
+    let round = |x: usize| x / align * align;
+    let Range { start, end } = chunk_bounds(count, workers, w);
+    let start = round(start);
+    let end = if w + 1 == workers { count } else { round(end) };
+    start..end.max(start)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +363,45 @@ mod tests {
                 assert_eq!(next, count);
             }
         }
+    }
+
+    #[test]
+    fn aligned_chunks_partition_the_range_on_block_boundaries() {
+        for count in [0usize, 1, 5, 16, 17, 63, 64, 65, 100, 1000] {
+            for workers in 1..=9 {
+                for align in [1usize, 2, 4, 64] {
+                    let mut next = 0;
+                    for w in 0..workers {
+                        let r = chunk_bounds_aligned(count, workers, align, w);
+                        assert_eq!(r.start, next, "count={count} workers={workers} align={align}");
+                        assert!(r.start <= r.end);
+                        // Every boundary except the final one is aligned.
+                        if w + 1 < workers {
+                            assert_eq!(r.end % align, 0);
+                        }
+                        next = r.end;
+                    }
+                    assert_eq!(next, count);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_ranges_aligned_covers_everything_at_any_thread_count() {
+        for threads in [1usize, 2, 3, 8] {
+            let seen: Vec<usize> = par_ranges_aligned(threads, 130, 4, |r| r.collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(seen, (0..130).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment must be positive")]
+    fn zero_alignment_panics() {
+        let _ = par_ranges_aligned(2, 10, 0, |r| r.len());
     }
 
     #[test]

@@ -4,12 +4,14 @@
 #   scripts/ci.sh
 #
 # Runs the offline-friendly default build (no criterion), the full test
-# suite plus doctests, the fault-injection suite under --features
+# suite plus doctests twice (auto-detected kernel backend, then
+# SPP_KERNEL=scalar), the fault-injection suite under --features
 # failpoints (with explicit poison-recovery gates), clippy and rustdoc
 # with warnings denied, a compile check of the feature-gated Criterion
 # bench targets, CLI smokes of the deadline- and memory-degradation
 # paths, a --cache-dir round-trip smoke, and jq gates on the
-# spp-bench/4 baseline including its cache-stats fields.
+# spp-bench/5 baseline including its kernel_backend and cache-stats
+# fields.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,8 +19,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test -q"
+echo "==> cargo test -q (auto-detected kernel backend)"
 cargo test --workspace -q
+
+echo "==> SPP_KERNEL=scalar cargo test -q (scalar backend must pass identically)"
+SPP_KERNEL=scalar cargo test --workspace -q
 
 echo "==> cargo test --doc (documentation examples must compile AND run)"
 cargo test --workspace --doc -q
@@ -61,11 +66,13 @@ rm -rf /tmp/spp-ci-cache
   | grep -E "cache: [1-9][0-9]* hits" >/dev/null
 rm -rf /tmp/spp-ci-cache
 
-echo "==> bench schema smoke (report --json must emit spp-bench/4 + cache stats)"
+echo "==> bench schema smoke (report --json must emit spp-bench/5 + backend + cache stats)"
 rm -rf /tmp/spp-ci-bench-cache
 ./target/release/report --json --threads 1 --cache-dir /tmp/spp-ci-bench-cache \
   -o /tmp/spp-ci-bench.json >/dev/null
-jq -e '.schema == "spp-bench/4"' /tmp/spp-ci-bench.json >/dev/null
+jq -e '.schema == "spp-bench/5"' /tmp/spp-ci-bench.json >/dev/null
+# The dispatched kernel backend must be recorded and be a known name.
+jq -e '.kernel_backend | IN("scalar", "avx2", "neon")' /tmp/spp-ci-bench.json >/dev/null
 # Every cache-stats field of the schema must be present.
 jq -e '.cache | has("hits") and has("misses") and has("disk_hits") and
        has("insertions") and has("evictions") and has("corrupt_skipped") and

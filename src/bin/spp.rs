@@ -27,7 +27,11 @@
 //!   --cache-mb <m>     in-memory result cache of m MiB (implied 64 MiB when
 //!                      only --cache-dir is given); entries beyond the budget
 //!                      are evicted least-recently-used
-//!   --progress         print progress events (levels, covers) to stderr
+//!   --progress         print progress events (levels, covers) to stderr,
+//!                      starting with the selected SIMD kernel backend
+//!                      (override with SPP_KERNEL=scalar|avx2|neon|auto;
+//!                      results are identical on every backend, only wall
+//!                      time differs)
 //!   --events-json <f>  append progress events to <f> as JSON lines
 //!   --verilog <mod>    print a structural Verilog module
 //!   --blif <model>     print a BLIF model
@@ -81,7 +85,9 @@ fn usage() -> ExitCode {
          [--cache-mb m] [--progress] [--events-json file] \
          [--verilog module] [--blif model] [--quiet]\n\
          worker threads default to the SPP_THREADS env var, else all cores; \
-         --threads wins over SPP_THREADS"
+         --threads wins over SPP_THREADS; \
+         SPP_KERNEL=scalar|avx2|neon|auto picks the bitset kernel backend \
+         (default: auto-detect; results are identical on every backend)"
     );
     ExitCode::FAILURE
 }
@@ -281,6 +287,9 @@ fn run(outputs: &[BoolFn], labels: &[String], options: &Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if options.progress {
+        eprintln!("kernel backend: {}", spp::kernels::active().name());
+    }
     // One absolute deadline for the whole invocation, shared by every
     // output's session.
     let deadline_at =
